@@ -1,0 +1,76 @@
+// Command gengraph writes a synthetic graph (or one of the stand-in
+// datasets) as an edge list, for feeding the other tools.
+//
+// Usage:
+//
+//	gengraph -model ba -n 10000 -m 5 [-p 0.5] [-seed 1] -out graph.txt
+//	gengraph -dataset facebook -out fb.txt
+//
+// Models: er (n, m), ba (n, m), hk (n, m, p), ws (n, m=k, p), plc (n, p as
+// exponent, m as min degree).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datasets"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "", "er | ba | hk | ws | plc")
+		dataset = flag.String("dataset", "", "stand-in dataset name (alternative to -model)")
+		n       = flag.Int("n", 10000, "nodes")
+		m       = flag.Int("m", 5, "edges per node / total edges (er) / min degree (plc)")
+		p       = flag.Float64("p", 0.5, "model parameter (triad prob / rewire prob / exponent)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch {
+	case *dataset != "":
+		d, err := datasets.Get(*dataset)
+		if err != nil {
+			fail(err)
+		}
+		g = d.Graph()
+	case *model == "er":
+		g = gen.ErdosRenyiGNM(*n, *m, *seed)
+	case *model == "ba":
+		g = gen.BarabasiAlbert(*n, *m, *seed)
+	case *model == "hk":
+		g = gen.HolmeKim(*n, *m, *p, *seed)
+	case *model == "ws":
+		g = gen.WattsStrogatz(*n, *m, *p, *seed)
+	case *model == "plc":
+		g = gen.PowerLawConfiguration(*n, *p, *m, *n/10, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.WriteEdgeList(w, g); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gengraph:", err)
+	os.Exit(1)
+}

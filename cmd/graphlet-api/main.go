@@ -1,0 +1,61 @@
+// Command graphlet-api serves a graph through the restricted-access crawl
+// API (see internal/apiserver), so estimation can be demonstrated across a
+// real network boundary:
+//
+//	graphlet-api -dataset facebook -addr :8080
+//	graphlet-api -graph g.txt -addr :8080
+//
+// then, from another process, crawl it:
+//
+//	est, _ := core.NewEstimator(apiserver.NewClient("http://127.0.0.1:8080", nil), cfg)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/apiserver"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		path    = flag.String("graph", "", "edge list file")
+		dataset = flag.String("dataset", "", "stand-in dataset name")
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		seed    = flag.Int64("seed", 1, "seed for /v1/nodes/random")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch {
+	case *path != "":
+		loaded, err := graph.LoadEdgeList(*path)
+		if err != nil {
+			fail(err)
+		}
+		g, _ = graph.LargestComponent(loaded)
+	case *dataset != "":
+		d, err := datasets.Get(*dataset)
+		if err != nil {
+			fail(err)
+		}
+		g = d.Graph()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Printf("serving %d nodes, %d edges on http://%s\n", g.NumNodes(), g.NumEdges(), *addr)
+	if err := http.ListenAndServe(*addr, apiserver.NewHandler(g, *seed)); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "graphlet-api:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+// Command similarity reproduces the paper's §6.4 application in miniature:
+// is Sinaweibo structurally a social network (like Facebook) or a news medium
+// (like Twitter)? The 4-node graphlet concentration of each network —
+// estimated from 20K random-walk steps — is used as a fingerprint and
+// compared with the graphlet-kernel cosine similarity.
+package main
+
+import (
+	"fmt"
+
+	graphletrw "repro"
+	"repro/internal/datasets"
+)
+
+func main() {
+	names := []string{"facebook", "twitter", "sinaweibo"}
+	conc := map[string][]float64{}
+	for _, name := range names {
+		d, err := datasets.Get(name)
+		if err != nil {
+			panic(err)
+		}
+		g := d.Graph()
+		res, err := graphletrw.Estimate(graphletrw.NewClient(g), graphletrw.Config{
+			K: 4, D: 2, CSS: true, Seed: 2024,
+		}, 20000)
+		if err != nil {
+			panic(err)
+		}
+		conc[name] = res.Concentration()
+		fmt.Printf("%-10s (%d nodes, %d edges): ĉ⁴ = %s\n",
+			name, g.NumNodes(), g.NumEdges(), fmtVec(conc[name]))
+	}
+
+	fmt.Println()
+	simFB := graphletrw.Similarity(conc["sinaweibo"], conc["facebook"])
+	simTW := graphletrw.Similarity(conc["sinaweibo"], conc["twitter"])
+	fmt.Printf("similarity(sinaweibo, facebook) = %.4f\n", simFB)
+	fmt.Printf("similarity(sinaweibo, twitter)  = %.4f\n", simTW)
+	if simTW > simFB {
+		fmt.Println("=> sinaweibo's building blocks resemble the news-media graph (paper's finding)")
+	} else {
+		fmt.Println("=> sinaweibo's building blocks resemble the social-network graph")
+	}
+}
+
+func fmtVec(v []float64) string {
+	s := "["
+	for i, x := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.4f", x)
+	}
+	return s + "]"
+}

@@ -1,0 +1,141 @@
+// Package access models the paper's restricted-access setting: the graph
+// topology is not available in bulk and can only be explored through the kind
+// of calls an OSN API exposes — fetch a node's neighbor list (and hence its
+// degree) and test adjacency. All random-walk code in this repository goes
+// through the Client interface, so estimators genuinely use only crawlable
+// information; the accounting wrapper measures API cost, which Figure 8's
+// Wedge-MHRW comparison depends on.
+package access
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Client is the crawl interface offered by a restricted-access graph.
+// Implementations must be safe for concurrent use.
+type Client interface {
+	// Degree returns the degree of v (the length of its neighbor list).
+	Degree(v int32) int
+	// Neighbors returns the sorted neighbor list of v. Callers must not
+	// modify the returned slice.
+	Neighbors(v int32) []int32
+	// Neighbor returns the i-th neighbor of v, 0 <= i < Degree(v).
+	Neighbor(v int32, i int) int32
+	// HasEdge reports whether u and v are adjacent.
+	HasEdge(u, v int32) bool
+	// RandomNode returns a uniformly random node ID to seed a walk. (Real
+	// crawls obtain seeds out of band; uniformity is not required by any
+	// estimator, only reachability.)
+	RandomNode(rng *rand.Rand) int32
+}
+
+// GraphClient adapts an in-memory graph.Graph to the Client interface.
+type GraphClient struct {
+	G *graph.Graph
+}
+
+// NewGraphClient wraps g.
+func NewGraphClient(g *graph.Graph) *GraphClient { return &GraphClient{G: g} }
+
+// Degree implements Client.
+func (c *GraphClient) Degree(v int32) int { return c.G.Degree(v) }
+
+// Neighbors implements Client.
+func (c *GraphClient) Neighbors(v int32) []int32 { return c.G.Neighbors(v) }
+
+// Neighbor implements Client.
+func (c *GraphClient) Neighbor(v int32, i int) int32 { return c.G.Neighbor(v, i) }
+
+// HasEdge implements Client.
+func (c *GraphClient) HasEdge(u, v int32) bool { return c.G.HasEdge(u, v) }
+
+// RandomNode implements Client.
+func (c *GraphClient) RandomNode(rng *rand.Rand) int32 { return c.G.RandomNode(rng) }
+
+// Stats aggregates API-call counters.
+type Stats struct {
+	DegreeCalls   int64
+	NeighborCalls int64 // Neighbors + Neighbor fetches
+	EdgeProbes    int64
+	// UniqueNodes is the number of distinct nodes whose neighborhood was
+	// fetched — the crawl footprint the paper reports (e.g. "we only exploit
+	// 0.03% nodes of Sinaweibo").
+	UniqueNodes int64
+}
+
+// Counting wraps a Client and counts API calls. It is safe for concurrent
+// use; the unique-node set is maintained with a lock-free presence array.
+type Counting struct {
+	inner Client
+
+	degree    atomic.Int64
+	neighbors atomic.Int64
+	probes    atomic.Int64
+	unique    atomic.Int64
+	seen      []atomic.Bool
+}
+
+// NewCounting wraps inner; numNodes sizes the unique-node tracking array.
+func NewCounting(inner Client, numNodes int) *Counting {
+	return &Counting{inner: inner, seen: make([]atomic.Bool, numNodes)}
+}
+
+func (c *Counting) touch(v int32) {
+	if int(v) < len(c.seen) && !c.seen[v].Swap(true) {
+		c.unique.Add(1)
+	}
+}
+
+// Degree implements Client.
+func (c *Counting) Degree(v int32) int {
+	c.degree.Add(1)
+	c.touch(v)
+	return c.inner.Degree(v)
+}
+
+// Neighbors implements Client.
+func (c *Counting) Neighbors(v int32) []int32 {
+	c.neighbors.Add(1)
+	c.touch(v)
+	return c.inner.Neighbors(v)
+}
+
+// Neighbor implements Client.
+func (c *Counting) Neighbor(v int32, i int) int32 {
+	c.neighbors.Add(1)
+	c.touch(v)
+	return c.inner.Neighbor(v, i)
+}
+
+// HasEdge implements Client.
+func (c *Counting) HasEdge(u, v int32) bool {
+	c.probes.Add(1)
+	return c.inner.HasEdge(u, v)
+}
+
+// RandomNode implements Client.
+func (c *Counting) RandomNode(rng *rand.Rand) int32 { return c.inner.RandomNode(rng) }
+
+// Stats returns a snapshot of the counters.
+func (c *Counting) Stats() Stats {
+	return Stats{
+		DegreeCalls:   c.degree.Load(),
+		NeighborCalls: c.neighbors.Load(),
+		EdgeProbes:    c.probes.Load(),
+		UniqueNodes:   c.unique.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Counting) Reset() {
+	c.degree.Store(0)
+	c.neighbors.Store(0)
+	c.probes.Store(0)
+	c.unique.Store(0)
+	for i := range c.seen {
+		c.seen[i].Store(false)
+	}
+}

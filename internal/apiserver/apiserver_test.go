@@ -1,0 +1,151 @@
+package apiserver
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Handler) {
+	t.Helper()
+	g := gen.HolmeKim(300, 3, 0.6, 7)
+	h := NewHandler(g, 1)
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, h
+}
+
+func TestNeighborsEndpoint(t *testing.T) {
+	srv, h := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/nodes/0/neighbors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var body neighborsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.ID != 0 || body.Degree != len(body.Neighbors) {
+		t.Errorf("bad body %+v", body)
+	}
+	if body.Degree != h.g.Degree(0) {
+		t.Errorf("degree %d, want %d", body.Degree, h.g.Degree(0))
+	}
+}
+
+func TestNotFoundAndBadRequests(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for path, want := range map[string]int{
+		"/v1/nodes/99999/neighbors": http.StatusNotFound,
+		"/v1/nodes/xx/neighbors":    http.StatusNotFound,
+		"/v1/edge?u=a&v=1":          http.StatusBadRequest,
+		"/v1/edge?u=1&v=99999":      http.StatusBadRequest,
+		"/nope":                     http.StatusNotFound,
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestEdgeEndpoint(t *testing.T) {
+	srv, h := newTestServer(t)
+	u := int32(0)
+	v := h.g.Neighbors(u)[0]
+	var body edgeResponse
+	resp, err := http.Get(srv.URL + "/v1/edge?u=0&v=" + itoa(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if !body.Exists {
+		t.Error("existing edge reported missing")
+	}
+}
+
+func itoa(v int32) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+func TestClientImplementsAccess(t *testing.T) {
+	srv, h := newTestServer(t)
+	c := NewClient(srv.URL, srv.Client())
+	if c.Degree(0) != h.g.Degree(0) {
+		t.Errorf("Degree mismatch")
+	}
+	ns := c.Neighbors(5)
+	want := h.g.Neighbors(5)
+	if len(ns) != len(want) {
+		t.Fatalf("Neighbors(5) = %v, want %v", ns, want)
+	}
+	for i := range ns {
+		if ns[i] != want[i] {
+			t.Fatalf("Neighbors(5) = %v, want %v", ns, want)
+		}
+	}
+	if c.Neighbor(5, 0) != want[0] {
+		t.Error("Neighbor mismatch")
+	}
+	if c.HasEdge(5, want[0]) != true {
+		t.Error("HasEdge false for existing edge")
+	}
+	v := c.RandomNode(nil)
+	if v < 0 || int(v) >= h.g.NumNodes() {
+		t.Errorf("RandomNode = %d", v)
+	}
+}
+
+// TestClientCaching: revisiting a node must not issue another request.
+func TestClientCaching(t *testing.T) {
+	srv, _ := newTestServer(t)
+	c := NewClient(srv.URL, srv.Client())
+	c.Neighbors(3)
+	n := c.Requests
+	c.Neighbors(3)
+	c.Degree(3)
+	c.Neighbor(3, 0)
+	if c.Requests != n {
+		t.Errorf("cache miss on revisit: %d -> %d requests", n, c.Requests)
+	}
+}
+
+// TestEstimateOverHTTP runs the full framework over the HTTP boundary and
+// checks it converges to the exact triangle concentration — the end-to-end
+// proof of the restricted-access design.
+func TestEstimateOverHTTP(t *testing.T) {
+	srv, h := newTestServer(t)
+	c := NewClient(srv.URL, srv.Client())
+	est, err := core.NewEstimator(c, core.Config{K: 3, D: 1, CSS: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := est.Run(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exact.Concentrations(exact.ThreeNodeCounts(h.g))
+	got := res.Concentration()
+	if math.Abs(got[1]-want[1]) > 0.2*want[1] {
+		t.Errorf("triangle concentration over HTTP: got %.4f, want %.4f", got[1], want[1])
+	}
+	if c.Requests >= 30000 {
+		t.Errorf("caching ineffective: %d requests for 30000 steps on a 300-node graph", c.Requests)
+	}
+}

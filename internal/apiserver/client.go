@@ -1,0 +1,99 @@
+package apiserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+
+	"repro/internal/access"
+)
+
+// Client implements access.Client over the crawl API. Fetched neighborhoods
+// are cached, as a real crawler would do, so each node costs one request no
+// matter how many walk steps revisit it; edge probes are answered from the
+// cache when either endpoint was fetched.
+//
+// Client is not safe for concurrent use (one crawler per walk, as usual);
+// wrap per-goroutine instances around the same base URL for parallel trials.
+type Client struct {
+	base string
+	http *http.Client
+
+	cache map[int32][]int32
+	// Requests counts HTTP round trips actually issued.
+	Requests int64
+}
+
+var _ access.Client = (*Client)(nil)
+
+// NewClient crawls the API at base (e.g. "http://127.0.0.1:8080"). If hc is
+// nil, http.DefaultClient is used.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, http: hc, cache: make(map[int32][]int32)}
+}
+
+func (c *Client) fetch(v int32) []int32 {
+	if ns, ok := c.cache[v]; ok {
+		return ns
+	}
+	var resp neighborsResponse
+	c.get(fmt.Sprintf("%s/v1/nodes/%d/neighbors", c.base, v), &resp)
+	c.cache[v] = resp.Neighbors
+	return resp.Neighbors
+}
+
+func (c *Client) get(url string, out any) {
+	c.Requests++
+	r, err := c.http.Get(url)
+	if err != nil {
+		panic(fmt.Sprintf("apiserver client: %v", err))
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("apiserver client: %s returned %s", url, r.Status))
+	}
+	if err := json.NewDecoder(r.Body).Decode(out); err != nil {
+		panic(fmt.Sprintf("apiserver client: decode %s: %v", url, err))
+	}
+}
+
+// Degree implements access.Client.
+func (c *Client) Degree(v int32) int { return len(c.fetch(v)) }
+
+// Neighbors implements access.Client.
+func (c *Client) Neighbors(v int32) []int32 { return c.fetch(v) }
+
+// Neighbor implements access.Client.
+func (c *Client) Neighbor(v int32, i int) int32 { return c.fetch(v)[i] }
+
+// HasEdge implements access.Client, answering from cached neighbor lists
+// when possible and otherwise fetching the smaller-unknown endpoint — the
+// strategy a polite crawler uses instead of a dedicated edge endpoint.
+func (c *Client) HasEdge(u, v int32) bool {
+	if ns, ok := c.cache[u]; ok {
+		return containsSorted(ns, v)
+	}
+	if ns, ok := c.cache[v]; ok {
+		return containsSorted(ns, u)
+	}
+	return containsSorted(c.fetch(u), v)
+}
+
+// RandomNode implements access.Client via the server's seed endpoint. The
+// local rng parameter is unused: seed selection happens server-side, as with
+// real crawl seeds obtained out of band.
+func (c *Client) RandomNode(_ *rand.Rand) int32 {
+	var resp randomNodeResponse
+	c.get(c.base+"/v1/nodes/random", &resp)
+	return resp.ID
+}
+
+func containsSorted(ns []int32, v int32) bool {
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	return i < len(ns) && ns[i] == v
+}

@@ -1,0 +1,419 @@
+// Package core implements the paper's primary contribution: the general
+// random-walk framework for estimating k-node graphlet concentration from
+// l = k-d+1 consecutive steps of a random walk on the d-node subgraph
+// relationship graph G(d) (Algorithm 1), with the two optimizations of §4 —
+// corresponding state sampling (CSS, Algorithm 3) and the non-backtracking
+// random walk (NB-SRW) — and the Chernoff-Hoeffding sample-size bound of
+// Theorem 3.
+//
+// Special cases recover the prior art the paper compares against:
+// d = k-1 is PSRW [36], d = k is the SRW-on-G(k) method of [36], and
+// (k=3, d=1) is the Hardiman-Katzir clustering-coefficient walk [11].
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/graphlet"
+	"repro/internal/walk"
+)
+
+// Config selects a method within the framework.
+type Config struct {
+	K int // graphlet size, 3..5
+	D int // walk order, 1..K; l = K-D+1 consecutive steps form one sample
+
+	// CSS enables corresponding state sampling (§4.1): the sample weight is
+	// the summed stationary mass of all states corresponding to the sampled
+	// subgraph rather than α·π̃e. For l <= 2 both weights coincide and the
+	// plain path is used.
+	CSS bool
+	// NB replaces the simple random walk with the non-backtracking walk
+	// (§4.2); stationary weights use nominal degrees max(deg-1, 1).
+	NB bool
+
+	// RecoverStars implements the paper's §3.2 footnote 3 for (K=4, D=1):
+	// 3-stars have no Hamiltonian path (α = 0) and are invisible to the walk
+	// on G, but their count satisfies the linear relation
+	//   noninduced-stars = stars + tailed + 2·chordal + 4·clique,
+	// and Σ_v C(d_v,3) (the non-induced star count) is estimable from the
+	// same walk because E_π[C(d_v,3)/d_v] = Σ_v C(d_v,3) / 2|E| shares the
+	// 2|R(1)| = 2|E| scale of all other weights. With this flag the 3-star
+	// entry of the result is recovered instead of being zero.
+	RecoverStars bool
+
+	// BurnIn is the number of transitions discarded before sampling starts.
+	// The paper uses none (bias decays by SLLN); experiments keep it at 0.
+	BurnIn int
+
+	// Seed seeds the walk's RNG. Two estimators with equal Config produce
+	// identical runs.
+	Seed int64
+}
+
+// MethodName renders the paper's naming scheme, e.g. "SRW2CSS" or
+// "SRW1CSSNB".
+func (c Config) MethodName() string {
+	s := fmt.Sprintf("SRW%d", c.D)
+	if c.CSS {
+		s += "CSS"
+	}
+	if c.NB {
+		s += "NB"
+	}
+	return s
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.K < 3 || c.K > graphlet.MaxK {
+		return fmt.Errorf("core: K=%d out of range 3..%d", c.K, graphlet.MaxK)
+	}
+	if c.D < 1 || c.D > c.K {
+		return fmt.Errorf("core: D=%d out of range 1..K=%d", c.D, c.K)
+	}
+	if c.BurnIn < 0 {
+		return fmt.Errorf("core: negative BurnIn %d", c.BurnIn)
+	}
+	if c.RecoverStars && (c.K != 4 || c.D != 1) {
+		return fmt.Errorf("core: RecoverStars applies only to K=4, D=1")
+	}
+	return nil
+}
+
+// Result holds the outcome of one estimation run.
+type Result struct {
+	Config Config
+	// Steps is the number of windows processed (the paper's sample size n).
+	Steps int
+	// ValidSamples counts windows whose l states covered exactly k distinct
+	// nodes (the "valid samples" of Figure 3).
+	ValidSamples int
+	// Weights[i] is the un-normalized accumulator Ĉ_i — the sum of
+	// 1/(α_i·π̃e) (or 1/p̃ under CSS) over valid samples of type i+1.
+	// Count estimates follow as 2|R(d)|·Weights[i]/Steps (Equation 4).
+	Weights []float64
+	// TypeCounts[i] is the raw number of valid samples classified as
+	// graphlet type i+1 (diagnostic; not unbiased).
+	TypeCounts []int64
+}
+
+// Concentration returns the estimated concentration vector ĉ^k (Equation 5
+// or 8). If no valid sample was seen, all entries are zero.
+func (r *Result) Concentration() []float64 {
+	out := make([]float64, len(r.Weights))
+	var sum float64
+	for _, w := range r.Weights {
+		sum += w
+	}
+	if sum == 0 {
+		return out
+	}
+	for i, w := range r.Weights {
+		out[i] = w / sum
+	}
+	return out
+}
+
+// Counts returns unbiased count estimates Ĉ^k_i given 2|R(d)| (Equation 4).
+// For d = 1, 2|R| = 2|E|; for d = 2 use TwoR.
+func (r *Result) Counts(twoR float64) []float64 {
+	out := make([]float64, len(r.Weights))
+	if r.Steps == 0 {
+		return out
+	}
+	for i, w := range r.Weights {
+		out[i] = twoR * w / float64(r.Steps)
+	}
+	return out
+}
+
+// Estimator runs the framework on a restricted-access graph.
+type Estimator struct {
+	cfg    Config
+	client access.Client
+	space  walk.Space
+	w      *walk.Walk
+	rng    *rand.Rand
+
+	l     int
+	alpha []int64 // α per type (paper order)
+
+	// Sliding window of the last l states with their G(d) degrees.
+	win    []walk.State
+	degs   []int
+	winLen int
+	ring   int // index of the oldest window entry
+
+	// Scratch buffers.
+	unionNodes []int32
+	chainNodes []int32
+
+	// starAcc accumulates C(d_v,3)/d_v over visited nodes for RecoverStars.
+	starAcc float64
+}
+
+// NewEstimator builds an estimator over the client.
+func NewEstimator(client access.Client, cfg Config) (*Estimator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l := cfg.K - cfg.D + 1
+	cat := graphlet.Catalog(cfg.K)
+	alpha := make([]int64, len(cat))
+	for i := range cat {
+		alpha[i] = cat[i].Alpha[cfg.D]
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	space := walk.NewSpace(client, cfg.D)
+	e := &Estimator{
+		cfg:    cfg,
+		client: client,
+		space:  space,
+		rng:    rng,
+		l:      l,
+		alpha:  alpha,
+		win:    make([]walk.State, l),
+		degs:   make([]int, l),
+	}
+	return e, nil
+}
+
+// Run processes n windows (Algorithm 1) and returns the estimates.
+func (e *Estimator) Run(n int) (*Result, error) {
+	return e.RunCheckpoints(n, 0, nil)
+}
+
+// RunCheckpoints is Run with a periodic callback: after every `every`
+// windows (and at the end) it invokes fn with the number of windows
+// processed so far and the current concentration estimate. Used to trace
+// convergence (Figure 6) from a single walk.
+func (e *Estimator) RunCheckpoints(n, every int, fn func(step int, conc []float64)) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: non-positive sample budget %d", n)
+	}
+	res := &Result{
+		Config:     e.cfg,
+		Steps:      n,
+		Weights:    make([]float64, len(e.alpha)),
+		TypeCounts: make([]int64, len(e.alpha)),
+	}
+	e.start()
+	e.starAcc = 0
+	for t := 0; t < n; t++ {
+		if err := e.accumulate(res); err != nil {
+			return nil, err
+		}
+		if e.cfg.RecoverStars {
+			e.accumulateStars()
+			e.applyStarRecovery(res)
+		}
+		e.advance()
+		if fn != nil && every > 0 && (t+1)%every == 0 {
+			fn(t+1, res.concentrationSnapshot())
+		}
+	}
+	if fn != nil && (every == 0 || n%every != 0) {
+		fn(n, res.concentrationSnapshot())
+	}
+	return res, nil
+}
+
+// accumulateStars adds the non-induced-star functional of the newest visited
+// node (stationary probability ∝ degree): C(d_v, 3)/d_v.
+func (e *Estimator) accumulateStars() {
+	_, deg := e.windowAt(e.l - 1)
+	d := float64(deg) // d = 1 walk: the state degree is the node degree
+	// C(d,3)/d simplifies to (d-1)(d-2)/6.
+	e.starAcc += (d - 1) * (d - 2) / 6
+}
+
+// applyStarRecovery rewrites the invisible 3-star weight from the linear
+// relation noninduced = stars + tailed + 2·chordal + 4·clique; all terms
+// share the 2|E| scale, so the concentration normalization stays valid.
+func (e *Estimator) applyStarRecovery(res *Result) {
+	w := e.starAcc - res.Weights[3] - 2*res.Weights[4] - 4*res.Weights[5]
+	if w < 0 {
+		w = 0
+	}
+	res.Weights[1] = w
+}
+
+func (r *Result) concentrationSnapshot() []float64 { return r.Concentration() }
+
+// start initializes the walk, applies burn-in and fills the first window.
+func (e *Estimator) start() {
+	e.w = walk.New(e.space, e.cfg.NB, e.rng)
+	e.w.Burn(e.cfg.BurnIn)
+	e.winLen = 0
+	e.ring = 0
+	e.push(e.w.Current())
+	for e.winLen < e.l {
+		e.push(e.w.Step())
+	}
+}
+
+// advance slides the window by one walk transition.
+func (e *Estimator) advance() { e.push(e.w.Step()) }
+
+func (e *Estimator) push(s walk.State) {
+	if e.winLen < e.l {
+		e.win[e.winLen] = s
+		e.degs[e.winLen] = e.space.StateDegree(s)
+		e.winLen++
+		return
+	}
+	e.win[e.ring] = s
+	e.degs[e.ring] = e.space.StateDegree(s)
+	e.ring = (e.ring + 1) % e.l
+}
+
+// windowAt returns the i-th window entry in walk order (0 = oldest).
+func (e *Estimator) windowAt(i int) (walk.State, int) {
+	j := (e.ring + i) % e.l
+	return e.win[j], e.degs[j]
+}
+
+// nominal maps a state degree to the NB-SRW nominal degree.
+func nominal(d int) int {
+	if d <= 1 {
+		return 1
+	}
+	return d - 1
+}
+
+// accumulate processes the current window: if it covers exactly k distinct
+// nodes, classify the induced subgraph and add its re-weighted contribution.
+func (e *Estimator) accumulate(res *Result) error {
+	k := e.cfg.K
+	e.unionNodes = e.unionNodes[:0]
+	for i := 0; i < e.l; i++ {
+		s, _ := e.windowAt(i)
+		for j := 0; j < s.Len(); j++ {
+			x := s.Node(j)
+			found := false
+			for _, y := range e.unionNodes {
+				if y == x {
+					found = true
+					break
+				}
+			}
+			if !found {
+				e.unionNodes = append(e.unionNodes, x)
+				if len(e.unionNodes) > k {
+					return nil // over-covering impossible; defensive
+				}
+			}
+		}
+	}
+	if len(e.unionNodes) != k {
+		return nil // invalid sample (Figure 3)
+	}
+	res.ValidSamples++
+
+	nodes := e.unionNodes
+	code := graphlet.CodeOf(k, func(i, j int) bool {
+		return e.client.HasEdge(nodes[i], nodes[j])
+	})
+	typ := graphlet.ClassifyCode(k, code)
+	if typ < 0 {
+		return fmt.Errorf("core: window %v classified as disconnected", nodes)
+	}
+	res.TypeCounts[typ]++
+
+	var weight float64
+	if e.cfg.CSS && e.l > 2 {
+		p := e.samplingProbability(nodes)
+		if p <= 0 {
+			return fmt.Errorf("core: zero sampling probability for type %d", typ+1)
+		}
+		weight = 1 / p
+	} else {
+		if e.alpha[typ] == 0 {
+			return fmt.Errorf("core: walk produced type %d with alpha = 0 (d=%d)", typ+1, e.cfg.D)
+		}
+		weight = 1 / (float64(e.alpha[typ]) * e.pieTilde())
+	}
+	res.Weights[typ] += weight
+	return nil
+}
+
+// pieTilde computes π̃e(X^(l)) = 2|R(d)|·πe for the current window
+// (Equation 2): deg(X_1) for l = 1, 1 for l = 2, and the product of inverse
+// degrees of the interior states for l > 2. Under NB, nominal degrees are
+// used (§4.2).
+func (e *Estimator) pieTilde() float64 {
+	switch e.l {
+	case 1:
+		// Marginal state probability d_X/2|R|; NB-SRW preserves it, so the
+		// actual degree is used even under NB.
+		_, d := e.windowAt(0)
+		return float64(d)
+	case 2:
+		return 1
+	}
+	p := 1.0
+	for i := 1; i < e.l-1; i++ {
+		_, d := e.windowAt(i)
+		p *= 1 / e.adjDeg(d)
+	}
+	return p
+}
+
+func (e *Estimator) adjDeg(d int) float64 {
+	if e.cfg.NB {
+		return float64(nominal(d))
+	}
+	return float64(d)
+}
+
+// samplingProbability computes p̃(X^(l)) = 2|R(d)|·p(X^(l)) (Definition 4,
+// Algorithm 3): the sum of π̃e over every state of M(l) corresponding to the
+// sampled subgraph. Chain enumeration runs over the k sampled nodes; interior
+// chain states need their G(d) degree, obtained from the space (O(1) for
+// d <= 2).
+func (e *Estimator) samplingProbability(nodes []int32) float64 {
+	return samplingProbabilityWith(e.client, e.space, e.cfg.K, e.cfg.D, e.cfg.NB, nodes, &e.chainNodes)
+}
+
+// SamplingProbability computes the CSS weight p̃ = 2|R(d)|·p for the subgraph
+// induced by the given k distinct nodes (Algorithm 3). It is exposed for the
+// Table 4 reproduction and for external verification.
+func SamplingProbability(client access.Client, k, d int, nb bool, nodes []int32) float64 {
+	var scratch []int32
+	return samplingProbabilityWith(client, walk.NewSpace(client, d), k, d, nb, nodes, &scratch)
+}
+
+func samplingProbabilityWith(client access.Client, space walk.Space, k, d int, nb bool, nodes []int32, scratch *[]int32) float64 {
+	hasEdge := func(i, j int) bool { return client.HasEdge(nodes[i], nodes[j]) }
+	total := 0.0
+	graphlet.EnumerateChains(k, d, hasEdge, func(chain []uint8) bool {
+		w := 1.0
+		// Interior states only (indices 1..l-2); for l = 1 the weight is the
+		// state's degree, but CSS is never used with l <= 2.
+		for i := 1; i < len(chain)-1; i++ {
+			st := maskToState(nodes, chain[i], scratch)
+			deg := space.StateDegree(st)
+			if nb {
+				deg = nominal(deg)
+			}
+			w *= 1 / float64(deg)
+		}
+		total += w
+		return true
+	})
+	return total
+}
+
+func maskToState(nodes []int32, mask uint8, scratch *[]int32) walk.State {
+	buf := (*scratch)[:0]
+	for b := 0; b < len(nodes); b++ {
+		if mask&(1<<uint(b)) != 0 {
+			buf = append(buf, nodes[b])
+		}
+	}
+	*scratch = buf
+	return walk.StateOf(buf...)
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/graphlet"
+	"repro/internal/walk"
+)
+
+// MultiEstimator estimates the concentrations of several graphlet sizes
+// simultaneously from a single random walk on G(d) — the joint-estimation
+// idea behind MSS [36], generalized to this framework: a window of
+// l_k = k-d+1 consecutive states is maintained per target size k, and each
+// size re-weights its own samples exactly as the single-size estimator does.
+// One walk's API cost therefore buys every size's estimate at once.
+type MultiEstimator struct {
+	client access.Client
+	space  walk.Space
+	rng    *rand.Rand
+	d      int
+	css    bool
+	nb     bool
+
+	sizes []int
+	maxL  int
+
+	// Ring of the last maxL states and their degrees.
+	win    []walk.State
+	degs   []int
+	filled int
+	ring   int
+
+	scratchNodes []int32
+	scratchChain []int32
+}
+
+// MultiConfig configures a MultiEstimator.
+type MultiConfig struct {
+	// Sizes lists the target graphlet sizes, each in 3..5 and >= D.
+	Sizes []int
+	// D is the shared walk order (>= 1, <= min(Sizes)).
+	D int
+	// CSS and NB enable the §4 optimizations for every size (CSS applies
+	// where l > 2).
+	CSS, NB bool
+	Seed    int64
+}
+
+// Validate checks the configuration.
+func (c MultiConfig) Validate() error {
+	if len(c.Sizes) == 0 {
+		return fmt.Errorf("core: MultiConfig needs at least one size")
+	}
+	for _, k := range c.Sizes {
+		if k < 3 || k > graphlet.MaxK {
+			return fmt.Errorf("core: size %d out of range 3..%d", k, graphlet.MaxK)
+		}
+		if c.D > k {
+			return fmt.Errorf("core: D=%d exceeds size %d", c.D, k)
+		}
+	}
+	if c.D < 1 {
+		return fmt.Errorf("core: D=%d out of range", c.D)
+	}
+	return nil
+}
+
+// NewMultiEstimator builds the joint estimator.
+func NewMultiEstimator(client access.Client, cfg MultiConfig) (*MultiEstimator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	maxL := 0
+	for _, k := range cfg.Sizes {
+		if l := k - cfg.D + 1; l > maxL {
+			maxL = l
+		}
+	}
+	return &MultiEstimator{
+		client: client,
+		space:  walk.NewSpace(client, cfg.D),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		d:      cfg.D,
+		css:    cfg.CSS,
+		nb:     cfg.NB,
+		sizes:  append([]int(nil), cfg.Sizes...),
+		maxL:   maxL,
+		win:    make([]walk.State, maxL),
+		degs:   make([]int, maxL),
+	}, nil
+}
+
+// MultiResult holds one Result per requested size, keyed by k.
+type MultiResult struct {
+	Steps   int
+	Results map[int]*Result
+}
+
+// Run advances the walk for n steps and accumulates every size's estimate.
+func (m *MultiEstimator) Run(n int) (*MultiResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: non-positive sample budget %d", n)
+	}
+	out := &MultiResult{Steps: n, Results: map[int]*Result{}}
+	for _, k := range m.sizes {
+		out.Results[k] = &Result{
+			Config:     Config{K: k, D: m.d, CSS: m.css, NB: m.nb},
+			Steps:      n,
+			Weights:    make([]float64, graphlet.Count(k)),
+			TypeCounts: make([]int64, graphlet.Count(k)),
+		}
+	}
+	w := walk.New(m.space, m.nb, m.rng)
+	m.filled = 0
+	m.ring = 0
+	m.push(w.Current())
+	for m.filled < m.maxL {
+		m.push(w.Step())
+	}
+	for t := 0; t < n; t++ {
+		for _, k := range m.sizes {
+			if err := m.accumulateSize(k, out.Results[k]); err != nil {
+				return nil, err
+			}
+		}
+		m.push(w.Step())
+	}
+	return out, nil
+}
+
+func (m *MultiEstimator) push(s walk.State) {
+	if m.filled < m.maxL {
+		m.win[m.filled] = s
+		m.degs[m.filled] = m.space.StateDegree(s)
+		m.filled++
+		return
+	}
+	m.win[m.ring] = s
+	m.degs[m.ring] = m.space.StateDegree(s)
+	m.ring = (m.ring + 1) % m.maxL
+}
+
+// windowAt returns the i-th most recent state (i = 0 oldest within a window
+// of length l ending at the newest state).
+func (m *MultiEstimator) windowFor(l int) func(i int) (walk.State, int) {
+	offset := m.maxL - l
+	return func(i int) (walk.State, int) {
+		j := (m.ring + offset + i) % m.maxL
+		return m.win[j], m.degs[j]
+	}
+}
+
+func (m *MultiEstimator) accumulateSize(k int, res *Result) error {
+	l := k - m.d + 1
+	at := m.windowFor(l)
+	nodes := m.scratchNodes[:0]
+	for i := 0; i < l; i++ {
+		s, _ := at(i)
+		for j := 0; j < s.Len(); j++ {
+			x := s.Node(j)
+			seen := false
+			for _, y := range nodes {
+				if y == x {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				nodes = append(nodes, x)
+			}
+		}
+	}
+	m.scratchNodes = nodes
+	if len(nodes) != k {
+		return nil
+	}
+	res.ValidSamples++
+	code := graphlet.CodeOf(k, func(i, j int) bool {
+		return m.client.HasEdge(nodes[i], nodes[j])
+	})
+	typ := graphlet.ClassifyCode(k, code)
+	if typ < 0 {
+		return fmt.Errorf("core: multi window %v disconnected", nodes)
+	}
+	res.TypeCounts[typ]++
+
+	var weight float64
+	if m.css && l > 2 {
+		p := samplingProbabilityWith(m.client, m.space, k, m.d, m.nb, nodes, &m.scratchChain)
+		if p <= 0 {
+			return fmt.Errorf("core: multi zero sampling probability")
+		}
+		weight = 1 / p
+	} else {
+		alpha := graphlet.Alpha(k, m.d, typ+1)
+		if alpha == 0 {
+			return fmt.Errorf("core: multi walk produced type g%d_%d with alpha=0", k, typ+1)
+		}
+		pie := 1.0
+		switch {
+		case l == 1:
+			_, deg := at(0)
+			pie = float64(deg)
+		case l > 2:
+			for i := 1; i < l-1; i++ {
+				_, deg := at(i)
+				if m.nb {
+					deg = nominal(deg)
+				}
+				pie *= 1 / float64(deg)
+			}
+		}
+		weight = 1 / (float64(alpha) * pie)
+	}
+	res.Weights[typ] += weight
+	return nil
+}

@@ -1,0 +1,219 @@
+// Package datasets provides deterministic synthetic stand-ins for the ten
+// web-crawled networks of the paper's Table 5 (which are not available
+// offline — see DESIGN.md §3 for the substitution rationale). Each stand-in
+// preserves the two properties the paper's conclusions hinge on: heavy-tailed
+// degrees and the dataset's qualitative clustering level (cliques rare for
+// the low-clustering graphs, common for the Facebook-like ones). Sizes are
+// scaled so exact ground truth is computable on one machine; 5-node ground
+// truth (needed for the c⁵₂₁ experiments) is computed only for the four
+// smaller datasets, exactly as the paper does.
+package datasets
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Dataset describes one stand-in network.
+type Dataset struct {
+	// Name is the lower-case stand-in name ("facebook", ...).
+	Name string
+	// PaperNodes/PaperEdges describe the original network's LCC for Table 5.
+	PaperNodes, PaperEdges string
+	// Exact5 marks the four small datasets with 5-node ground truth.
+	Exact5 bool
+	// Build generates the raw graph (before LCC extraction).
+	Build func() *graph.Graph
+}
+
+var registry = []Dataset{
+	{
+		Name: "brightkite", PaperNodes: "57K", PaperEdges: "213K", Exact5: true,
+		Build: func() *graph.Graph {
+			return gen.PlantCliques(gen.HolmeKim(4000, 4, 0.70, 1001), 150, 6, 2001)
+		},
+	},
+	{
+		Name: "epinion", PaperNodes: "76K", PaperEdges: "406K", Exact5: true,
+		Build: func() *graph.Graph {
+			return gen.PlantCliques(gen.HolmeKim(5000, 4, 0.45, 1002), 40, 6, 2002)
+		},
+	},
+	{
+		Name: "slashdot", PaperNodes: "77K", PaperEdges: "469K", Exact5: true,
+		Build: func() *graph.Graph {
+			return gen.PlantCliques(gen.PowerLawConfiguration(6000, 2.4, 3, 150, 1003), 30, 6, 2003)
+		},
+	},
+	{
+		Name: "facebook", PaperNodes: "63K", PaperEdges: "817K", Exact5: true,
+		Build: func() *graph.Graph {
+			return gen.PlantCliques(gen.HolmeKim(3000, 6, 0.85, 1004), 200, 7, 2004)
+		},
+	},
+	{
+		Name: "gowalla", PaperNodes: "197K", PaperEdges: "950K",
+		Build: func() *graph.Graph { return gen.HolmeKim(20000, 5, 0.28, 1005) },
+	},
+	{
+		Name: "wikipedia", PaperNodes: "1.9M", PaperEdges: "36.5M",
+		Build: func() *graph.Graph {
+			return gen.PlantCliques(gen.ErdosRenyiGNM(40000, 760000, 1006), 15, 5, 2006)
+		},
+	},
+	{
+		Name: "pokec", PaperNodes: "1.6M", PaperEdges: "22.3M",
+		Build: func() *graph.Graph { return gen.HolmeKim(50000, 14, 0.72, 1007) },
+	},
+	{
+		Name: "flickr", PaperNodes: "2.2M", PaperEdges: "22.7M",
+		Build: func() *graph.Graph { return gen.HolmeKim(50000, 10, 0.88, 1008) },
+	},
+	{
+		Name: "twitter", PaperNodes: "21.3M", PaperEdges: "265M",
+		Build: func() *graph.Graph { return gen.HolmeKim(100000, 12, 0.35, 1009) },
+	},
+	{
+		Name: "sinaweibo", PaperNodes: "58.7M", PaperEdges: "261M",
+		Build: func() *graph.Graph { return gen.HolmeKim(200000, 5, 0.015, 1010) },
+	},
+}
+
+// All returns every dataset in paper order.
+func All() []Dataset { return registry }
+
+// Small returns the four datasets with 5-node ground truth.
+func Small() []Dataset {
+	var out []Dataset
+	for _, d := range registry {
+		if d.Exact5 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Get returns the dataset by name.
+func Get(name string) (Dataset, error) {
+	for _, d := range registry {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("datasets: unknown dataset %q", name)
+}
+
+var (
+	mu     sync.Mutex
+	graphs = map[string]*graph.Graph{}
+	truths = map[string][]int64{}
+)
+
+// Graph returns the dataset's largest connected component, memoized.
+func (d Dataset) Graph() *graph.Graph {
+	mu.Lock()
+	g, ok := graphs[d.Name]
+	mu.Unlock()
+	if ok {
+		return g
+	}
+	raw := d.Build()
+	lcc, _ := graph.LargestComponent(raw)
+	mu.Lock()
+	graphs[d.Name] = lcc
+	mu.Unlock()
+	return lcc
+}
+
+// GroundTruth returns exact k-node graphlet counts, memoized in process and
+// cached on disk (key: dataset name + k). k = 5 is only available for the
+// Exact5 datasets.
+func (d Dataset) GroundTruth(k int) ([]int64, error) {
+	if k < 3 || k > 5 {
+		return nil, fmt.Errorf("datasets: k=%d out of range", k)
+	}
+	if k == 5 && !d.Exact5 {
+		return nil, fmt.Errorf("datasets: no 5-node ground truth for %q (paper computes it only for the four small datasets)", d.Name)
+	}
+	key := fmt.Sprintf("%s-k%d", d.Name, k)
+	mu.Lock()
+	if c, ok := truths[key]; ok {
+		mu.Unlock()
+		return c, nil
+	}
+	mu.Unlock()
+	if c, ok := loadCache(key); ok {
+		mu.Lock()
+		truths[key] = c
+		mu.Unlock()
+		return c, nil
+	}
+	g := d.Graph()
+	var c []int64
+	switch k {
+	case 3:
+		c = exact.ThreeNodeCounts(g)
+	case 4:
+		c = exact.FourNodeCounts(g)
+	case 5:
+		c = exact.CountESU(g, 5)
+	}
+	mu.Lock()
+	truths[key] = c
+	mu.Unlock()
+	saveCache(key, c)
+	return c, nil
+}
+
+// Concentration returns the exact concentration vector for size k.
+func (d Dataset) Concentration(k int) ([]float64, error) {
+	c, err := d.GroundTruth(k)
+	if err != nil {
+		return nil, err
+	}
+	return exact.Concentrations(c), nil
+}
+
+// cacheDir resolves the on-disk cache location: $REPRO_CACHE_DIR or a
+// subdirectory of the OS temp dir.
+func cacheDir() string {
+	if dir := os.Getenv("REPRO_CACHE_DIR"); dir != "" {
+		return dir
+	}
+	return filepath.Join(os.TempDir(), "graphletrw-cache")
+}
+
+func loadCache(key string) ([]int64, bool) {
+	b, err := os.ReadFile(filepath.Join(cacheDir(), key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var c []int64
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, false
+	}
+	return c, true
+}
+
+func saveCache(key string, c []int64) {
+	dir := cacheDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return // cache is best-effort
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(dir, key+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(dir, key+".json"))
+}

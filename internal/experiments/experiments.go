@@ -1,0 +1,95 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the synthetic stand-in datasets. Each experiment is a
+// function writing a plain-text table to an io.Writer; cmd/experiments
+// dispatches them, and the root bench_test.go wraps them as benchmarks.
+//
+// Absolute values differ from the paper (different graphs, scaled sizes, Go
+// instead of C++), but each driver reproduces the experiment's *shape*: which
+// method wins, by roughly what factor, and where crossovers happen.
+// EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// Params tunes experiment cost. The zero value gets defaults.
+type Params struct {
+	Steps  int // random-walk steps per run (paper: 20K)
+	Trials int // independent simulations (paper: 1000, 100 for SRW4)
+}
+
+func (p Params) withDefaults() Params {
+	if p.Steps == 0 {
+		p.Steps = 20000
+	}
+	if p.Trials == 0 {
+		p.Trials = 200
+	}
+	return p
+}
+
+// Quick returns parameters small enough for smoke tests and benchmarks.
+func Quick() Params { return Params{Steps: 2000, Trials: 8} }
+
+// methodTrials runs `trials` independent walks of cfg on g and returns the
+// per-trial concentration vectors.
+func methodTrials(g *graph.Graph, cfg core.Config, steps, trials int) [][]float64 {
+	client := access.NewGraphClient(g)
+	return stats.RunTrials(trials, func(trial int) []float64 {
+		c := cfg
+		c.Seed = int64(100003*trial + 17)
+		est, err := core.NewEstimator(client, c)
+		if err != nil {
+			panic(err)
+		}
+		res, err := est.Run(steps)
+		if err != nil {
+			panic(err)
+		}
+		return res.Concentration()
+	})
+}
+
+// methodNRMSE runs trials and returns the NRMSE of component idx against
+// truth.
+func methodNRMSE(g *graph.Graph, cfg core.Config, steps, trials int, truth []float64, idx int) float64 {
+	tr := methodTrials(g, cfg, steps, trials)
+	return stats.NRMSEOfComponent(tr, truth, idx)
+}
+
+// fmtF renders a float compactly for tables.
+func fmtF(x float64) string {
+	switch {
+	case math.IsNaN(x):
+		return "-"
+	case x == 0:
+		return "0"
+	case math.Abs(x) >= 1000 || math.Abs(x) < 0.001:
+		return fmt.Sprintf("%.3e", x)
+	default:
+		return fmt.Sprintf("%.4f", x)
+	}
+}
+
+// header prints a section title.
+func header(w io.Writer, title string) {
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, title)
+	for range title {
+		fmt.Fprint(w, "=")
+	}
+	fmt.Fprintln(w)
+}
+
+// smallDatasets returns the Exact5 datasets; allDatasets all ten.
+func smallDatasets() []datasets.Dataset { return datasets.Small() }
+func allDatasets() []datasets.Dataset   { return datasets.All() }

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// End-to-end smoke tests for the figure drivers at minimal budgets. They are
+// skipped in -short mode: the drivers touch every stand-in dataset (graph
+// generation plus 3/4-node ground truth, disk-cached after the first run).
+
+func tiny() Params { return Params{Steps: 500, Trials: 2} }
+
+func TestFig4Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("touches all datasets")
+	}
+	var sb strings.Builder
+	Fig4(&sb, tiny())
+	out := sb.String()
+	for _, want := range []string{
+		"(a) triangle", "(b) 4-clique", "(c) 5-clique",
+		"SRW1CSSNB", "SRW2CSS", "SRW3", "SRW4",
+		"brightkite", "sinaweibo",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig4 output missing %q", want)
+		}
+	}
+}
+
+func TestFig6Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("touches all datasets")
+	}
+	var sb strings.Builder
+	Fig6(&sb, tiny())
+	out := sb.String()
+	for _, want := range []string{"twitter", "sinaweibo", "pokec", "flickr", "epinion", "slashdot", "steps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig6 output missing %q", want)
+		}
+	}
+}
+
+func TestFig7Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("touches all datasets")
+	}
+	var sb strings.Builder
+	Fig7(&sb, tiny())
+	out := sb.String()
+	for _, want := range []string{"wedge sampling", "3-path", "SRW1CSSNB", "SRW2CSS", "walk steps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 output missing %q", want)
+		}
+	}
+}
+
+func TestFig8Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("touches all datasets")
+	}
+	var sb strings.Builder
+	Fig8(&sb, tiny())
+	out := sb.String()
+	for _, want := range []string{"Wedge-MHRW", "SRW1CSSNB", "convergence"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig8 output missing %q", want)
+		}
+	}
+}

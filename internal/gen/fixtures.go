@@ -1,0 +1,79 @@
+package gen
+
+import "repro/internal/graph"
+
+// Deterministic small fixtures used across tests and examples.
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph C_n.
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		b.AddEdge(int32(u), int32((u+1)%n))
+	}
+	return b.Build()
+}
+
+// Path returns the path graph P_n (n nodes, n-1 edges).
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u+1 < n; u++ {
+		b.AddEdge(int32(u), int32(u+1))
+	}
+	return b.Build()
+}
+
+// Star returns the star graph with one center (node 0) and n-1 leaves.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, int32(v))
+	}
+	return b.Build()
+}
+
+// PaperFigure1 returns the 4-node, 5-edge example graph of the paper's
+// Figure 1: nodes 1..4 remapped to 0..3, edges
+// {1-2, 1-3, 1-4, 2-3, 3-4} -> {0-1, 0-2, 0-3, 1-2, 2-3}.
+// It has two triangles ({0,1,2} and {0,2,3}) and two wedges, so the wedge and
+// triangle concentrations are both 0.5.
+func PaperFigure1() *graph.Graph {
+	return graph.FromEdgeList(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 3}})
+}
+
+// Lollipop returns a clique K_c with a pendant path of p extra nodes attached
+// to clique node 0 — a classic slow-mixing shape, useful for stress tests.
+func Lollipop(c, p int) *graph.Graph {
+	b := graph.NewBuilder(c + p)
+	for u := 0; u < c; u++ {
+		for v := u + 1; v < c; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	prev := int32(0)
+	for i := 0; i < p; i++ {
+		next := int32(c + i)
+		b.AddEdge(prev, next)
+		prev = next
+	}
+	return b.Build()
+}
+
+// TwoTriangles returns two triangles joined by a single bridge edge.
+func TwoTriangles() *graph.Graph {
+	return graph.FromEdgeList(6, [][2]int32{
+		{0, 1}, {1, 2}, {0, 2},
+		{3, 4}, {4, 5}, {3, 5},
+		{2, 3},
+	})
+}

@@ -1,0 +1,180 @@
+// Package graph provides the undirected simple-graph substrate used by the
+// whole repository: a compact adjacency representation with sorted neighbor
+// lists, O(log d) edge probes, largest-connected-component extraction and
+// edge-list I/O.
+//
+// Nodes are dense int32 identifiers in [0, N). Graphs are immutable once
+// built; construction goes through Builder.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is an immutable undirected simple graph. Neighbor lists are sorted
+// ascending, enabling binary-search edge probes and linear-merge set
+// intersection.
+type Graph struct {
+	// CSR layout: neighbors of v are adj[off[v]:off[v+1]].
+	off []int64
+	adj []int32
+	m   int64 // number of undirected edges
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.off) - 1 }
+
+// NumEdges returns the number of undirected edges |E|.
+func (g *Graph) NumEdges() int64 { return g.m }
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.off[v+1] - g.off[v])
+}
+
+// Neighbors returns the sorted neighbor list of v. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.adj[g.off[v]:g.off[v+1]]
+}
+
+// Neighbor returns the i-th neighbor of v (0-based, sorted order).
+func (g *Graph) Neighbor(v int32, i int) int32 {
+	return g.adj[g.off[v]+int64(i)]
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists. Self loops never
+// exist in a simple graph.
+func (g *Graph) HasEdge(u, v int32) bool {
+	if u == v {
+		return false
+	}
+	// Probe the smaller adjacency list.
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	n := g.Neighbors(u)
+	i := sort.Search(len(n), func(i int) bool { return n[i] >= v })
+	return i < len(n) && n[i] == v
+}
+
+// RandomNode returns a uniformly random node. It panics on an empty graph.
+func (g *Graph) RandomNode(rng *rand.Rand) int32 {
+	return int32(rng.Intn(g.NumNodes()))
+}
+
+// RandomNeighbor returns a uniformly random neighbor of v, or (-1, false) if v
+// is isolated.
+func (g *Graph) RandomNeighbor(v int32, rng *rand.Rand) (int32, bool) {
+	d := g.Degree(v)
+	if d == 0 {
+		return -1, false
+	}
+	return g.Neighbor(v, rng.Intn(d)), true
+}
+
+// RandomEdge returns a uniformly random undirected edge (u < v). It uses the
+// flattened directed-arc array, so each undirected edge is equally likely.
+func (g *Graph) RandomEdge(rng *rand.Rand) (int32, int32) {
+	if g.m == 0 {
+		panic("graph: RandomEdge on edgeless graph")
+	}
+	// Pick a random directed arc; its (source, target) is a uniform edge
+	// because each undirected edge contributes exactly two arcs.
+	a := rng.Int63n(int64(len(g.adj)))
+	u := g.arcSource(a)
+	v := g.adj[a]
+	if u > v {
+		u, v = v, u
+	}
+	return u, v
+}
+
+// arcSource returns the source node of directed arc index a.
+func (g *Graph) arcSource(a int64) int32 {
+	i := sort.Search(len(g.off)-1, func(i int) bool { return g.off[i+1] > a })
+	return int32(i)
+}
+
+// Edges calls fn for every undirected edge (u < v). Iteration stops early if
+// fn returns false.
+func (g *Graph) Edges(fn func(u, v int32) bool) {
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			if !fn(u, v) {
+				return
+			}
+		}
+	}
+}
+
+// MaxDegree returns the maximum degree in the graph (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.Degree(int32(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.NumNodes(), g.m)
+}
+
+// CommonNeighbors returns the number of common neighbors of u and v using a
+// linear merge of the two sorted lists.
+func (g *Graph) CommonNeighbors(u, v int32) int {
+	a, b := g.Neighbors(u), g.Neighbors(v)
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// CommonNeighborsInto appends the common neighbors of u and v to dst and
+// returns the extended slice.
+func (g *Graph) CommonNeighborsInto(dst []int32, u, v int32) []int32 {
+	a, b := g.Neighbors(u), g.Neighbors(v)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// DegreeHistogram returns a map from degree to the number of nodes with that
+// degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for v := 0; v < g.NumNodes(); v++ {
+		h[g.Degree(int32(v))]++
+	}
+	return h
+}

@@ -1,0 +1,115 @@
+package graph
+
+// LargestComponent extracts the largest connected component of g as a new
+// graph with densely renumbered nodes, mirroring the paper's preprocessing
+// ("we only retain the largest connected component"). It returns the new
+// graph and the mapping from new node IDs to original node IDs.
+func LargestComponent(g *Graph) (*Graph, []int32) {
+	n := g.NumNodes()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var (
+		bestID   int32 = -1
+		bestSize       = 0
+		queue    []int32
+		next     int32
+	)
+	for s := int32(0); s < int32(n); s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := next
+		next++
+		size := 0
+		queue = append(queue[:0], s)
+		comp[s] = id
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			size++
+			for _, u := range g.Neighbors(v) {
+				if comp[u] < 0 {
+					comp[u] = id
+					queue = append(queue, u)
+				}
+			}
+		}
+		if size > bestSize {
+			bestSize = size
+			bestID = id
+		}
+	}
+	// Renumber nodes of the best component.
+	newID := make([]int32, n)
+	toOld := make([]int32, 0, bestSize)
+	for v := 0; v < n; v++ {
+		if comp[v] == bestID {
+			newID[v] = int32(len(toOld))
+			toOld = append(toOld, int32(v))
+		} else {
+			newID[v] = -1
+		}
+	}
+	b := NewBuilder(bestSize)
+	g.Edges(func(u, v int32) bool {
+		if comp[u] == bestID && comp[v] == bestID {
+			b.AddEdge(newID[u], newID[v])
+		}
+		return true
+	})
+	return b.Build(), toOld
+}
+
+// IsConnected reports whether g is connected (an empty graph counts as
+// connected; a single node does too).
+func IsConnected(g *Graph) bool {
+	n := g.NumNodes()
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	queue := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, u := range g.Neighbors(v) {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				queue = append(queue, u)
+			}
+		}
+	}
+	return count == n
+}
+
+// NumComponents returns the number of connected components.
+func NumComponents(g *Graph) int {
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	var queue []int32
+	comps := 0
+	for s := int32(0); s < int32(n); s++ {
+		if seen[s] {
+			continue
+		}
+		comps++
+		seen[s] = true
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, u := range g.Neighbors(v) {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return comps
+}

@@ -1,0 +1,39 @@
+// Package kernel implements the graphlet-kernel similarity of the paper's
+// §6.4 (after Shervashidze et al. [33], restricted to one graphlet size):
+// the cosine similarity of two graphs' graphlet-concentration vectors.
+package kernel
+
+import "math"
+
+// Cosine returns c1·c2 / (‖c1‖·‖c2‖). Vectors must have equal length; zero
+// vectors yield 0.
+func Cosine(c1, c2 []float64) float64 {
+	if len(c1) != len(c2) {
+		panic("kernel: vector length mismatch")
+	}
+	var dot, n1, n2 float64
+	for i := range c1 {
+		dot += c1[i] * c2[i]
+		n1 += c1[i] * c1[i]
+		n2 += c2[i] * c2[i]
+	}
+	if n1 == 0 || n2 == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(n1*n2)
+}
+
+// Gram returns the pairwise cosine-similarity matrix of the given
+// concentration vectors — the graphlet kernel's Gram matrix used for graph
+// classification.
+func Gram(vectors [][]float64) [][]float64 {
+	n := len(vectors)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			out[i][j] = Cosine(vectors[i], vectors[j])
+		}
+	}
+	return out
+}

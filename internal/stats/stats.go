@@ -1,0 +1,131 @@
+// Package stats provides the evaluation machinery of §6: NRMSE over
+// independent simulation runs (parallelized across CPUs) and convergence
+// series over sample-size checkpoints.
+package stats
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// NRMSE is the paper's accuracy metric:
+// sqrt(E[(ĉ-c)²])/c — the root mean squared error of the estimates relative
+// to the ground truth, combining variance and bias.
+func NRMSE(estimates []float64, truth float64) float64 {
+	if truth == 0 || len(estimates) == 0 {
+		return math.NaN()
+	}
+	var sse float64
+	for _, e := range estimates {
+		d := e - truth
+		sse += d * d
+	}
+	return math.Sqrt(sse/float64(len(estimates))) / truth
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// TrialFunc runs one independent simulation (seeded deterministically by the
+// trial index) and returns an estimate vector.
+type TrialFunc func(trial int) []float64
+
+// RunTrials executes n independent trials in parallel and returns the
+// per-trial estimate vectors, ordered by trial index.
+func RunTrials(n int, fn TrialFunc) [][]float64 {
+	out := make([][]float64, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				t := int(next)
+				next++
+				mu.Unlock()
+				if t >= n {
+					return
+				}
+				out[t] = fn(t)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// NRMSEPerType computes the NRMSE of each vector component across trials.
+// Components whose truth is zero yield NaN.
+func NRMSEPerType(trials [][]float64, truth []float64) []float64 {
+	out := make([]float64, len(truth))
+	col := make([]float64, len(trials))
+	for i := range truth {
+		for t := range trials {
+			col[t] = trials[t][i]
+		}
+		out[i] = NRMSE(col, truth[i])
+	}
+	return out
+}
+
+// NRMSEOfComponent computes the NRMSE of component i across trials.
+func NRMSEOfComponent(trials [][]float64, truth []float64, i int) float64 {
+	col := make([]float64, len(trials))
+	for t := range trials {
+		col[t] = trials[t][i]
+	}
+	return NRMSE(col, truth[i])
+}
+
+// ConvergenceSeries aggregates checkpointed trials: point[t][s] is the
+// estimate of the tracked component at checkpoint s of trial t; the result
+// is the NRMSE at each checkpoint.
+func ConvergenceSeries(points [][]float64, truth float64) []float64 {
+	if len(points) == 0 {
+		return nil
+	}
+	nCheck := len(points[0])
+	out := make([]float64, nCheck)
+	col := make([]float64, len(points))
+	for s := 0; s < nCheck; s++ {
+		for t := range points {
+			col[t] = points[t][s]
+		}
+		out[s] = NRMSE(col, truth)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNRMSE(t *testing.T) {
+	// All estimates exact: NRMSE 0.
+	if n := NRMSE([]float64{2, 2, 2}, 2); n != 0 {
+		t.Errorf("exact estimates NRMSE = %f", n)
+	}
+	// Pure bias: estimates all 3, truth 2 -> |3-2|/2 = 0.5.
+	if n := NRMSE([]float64{3, 3}, 2); math.Abs(n-0.5) > 1e-12 {
+		t.Errorf("bias NRMSE = %f, want 0.5", n)
+	}
+	// Pure variance: {1,3} around truth 2 -> sqrt(1)/2 = 0.5.
+	if n := NRMSE([]float64{1, 3}, 2); math.Abs(n-0.5) > 1e-12 {
+		t.Errorf("variance NRMSE = %f, want 0.5", n)
+	}
+	if !math.IsNaN(NRMSE([]float64{1}, 0)) {
+		t.Error("zero truth should give NaN")
+	}
+	if !math.IsNaN(NRMSE(nil, 1)) {
+		t.Error("no estimates should give NaN")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %f", Mean(xs))
+	}
+	if v := Variance(xs); math.Abs(v-1.25) > 1e-12 {
+		t.Errorf("Variance = %f", v)
+	}
+	if s := StdDev(xs); math.Abs(s-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("StdDev = %f", s)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+}
+
+func TestRunTrialsOrderAndCompleteness(t *testing.T) {
+	n := 100
+	out := RunTrials(n, func(trial int) []float64 {
+		return []float64{float64(trial)}
+	})
+	for i := 0; i < n; i++ {
+		if out[i][0] != float64(i) {
+			t.Fatalf("trial %d result misplaced: %v", i, out[i])
+		}
+	}
+}
+
+func TestNRMSEPerType(t *testing.T) {
+	trials := [][]float64{{1, 4}, {3, 4}}
+	truth := []float64{2, 4}
+	got := NRMSEPerType(trials, truth)
+	if math.Abs(got[0]-0.5) > 1e-12 {
+		t.Errorf("component 0 NRMSE = %f, want 0.5", got[0])
+	}
+	if got[1] != 0 {
+		t.Errorf("component 1 NRMSE = %f, want 0", got[1])
+	}
+	if g := NRMSEOfComponent(trials, truth, 0); math.Abs(g-0.5) > 1e-12 {
+		t.Errorf("NRMSEOfComponent = %f", g)
+	}
+}
+
+func TestConvergenceSeries(t *testing.T) {
+	// Two trials, three checkpoints; errors shrink over checkpoints.
+	points := [][]float64{
+		{4, 3, 2.2},
+		{0, 1, 1.8},
+	}
+	s := ConvergenceSeries(points, 2)
+	if len(s) != 3 {
+		t.Fatalf("series length %d", len(s))
+	}
+	if !(s[0] > s[1] && s[1] > s[2]) {
+		t.Errorf("series should decrease: %v", s)
+	}
+	if ConvergenceSeries(nil, 1) != nil {
+		t.Error("empty input should give nil")
+	}
+}
+
+// Property: NRMSE is invariant under scaling both estimates and truth.
+func TestNRMSEScaleInvariance(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		bound := func(v float64) float64 {
+			if v != v || v > 1e6 || v < -1e6 {
+				return 1
+			}
+			return v
+		}
+		a, b, c = bound(a), bound(b), bound(c)
+		truth := 1 + math.Abs(a)
+		ests := []float64{b, c}
+		scale := 7.5
+		scaled := []float64{b * scale, c * scale}
+		n1 := NRMSE(ests, truth)
+		n2 := NRMSE(scaled, truth*scale)
+		return math.Abs(n1-n2) < 1e-9*(1+n1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

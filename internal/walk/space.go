@@ -1,0 +1,331 @@
+package walk
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/access"
+)
+
+// Space exposes the operations a random walk and the estimator need from the
+// subgraph relationship graph G(d): initial states, uniform neighbor
+// sampling, and state degrees (used in the stationary-weight π̃e).
+type Space interface {
+	// D returns the walk order d.
+	D() int
+	// RandomState returns a valid starting state (a connected d-node
+	// subgraph). Start-state bias vanishes by the SLLN; only validity
+	// matters.
+	RandomState(rng *rand.Rand) State
+	// StateDegree returns the degree of s in G(d).
+	StateDegree(s State) int
+	// RandomNeighbor returns a uniformly random G(d)-neighbor of s. If s has
+	// no neighbor (an isolated component smaller than d+1 nodes), s itself is
+	// returned.
+	RandomNeighbor(s State, rng *rand.Rand) State
+	// RandomNeighborAvoiding returns a uniformly random neighbor of s other
+	// than prev (non-backtracking step). If prev is s's only neighbor it is
+	// returned, matching the NB-SRW transition rule for degree-1 states.
+	RandomNeighborAvoiding(s, prev State, rng *rand.Rand) State
+}
+
+// NewSpace builds the G(d) state space over the client for d in 1..MaxD.
+func NewSpace(c access.Client, d int) Space {
+	switch {
+	case d == 1:
+		return &space1{c: c}
+	case d == 2:
+		return &space2{c: c}
+	case d >= 3 && d <= MaxD:
+		return newSpaceD(c, d)
+	}
+	panic(fmt.Sprintf("walk: unsupported d=%d", d))
+}
+
+// space1 is G(1) = G: states are single nodes.
+type space1 struct {
+	c access.Client
+}
+
+func (s *space1) D() int { return 1 }
+
+func (s *space1) RandomState(rng *rand.Rand) State {
+	for {
+		v := s.c.RandomNode(rng)
+		if s.c.Degree(v) > 0 {
+			return StateOf(v)
+		}
+	}
+}
+
+func (s *space1) StateDegree(st State) int { return s.c.Degree(st.Node(0)) }
+
+func (s *space1) RandomNeighbor(st State, rng *rand.Rand) State {
+	v := st.Node(0)
+	d := s.c.Degree(v)
+	if d == 0 {
+		return st
+	}
+	return StateOf(s.c.Neighbor(v, rng.Intn(d)))
+}
+
+func (s *space1) RandomNeighborAvoiding(st, prev State, rng *rand.Rand) State {
+	v := st.Node(0)
+	d := s.c.Degree(v)
+	switch d {
+	case 0:
+		return st
+	case 1:
+		return StateOf(s.c.Neighbor(v, 0))
+	}
+	p := prev.Node(0)
+	for {
+		w := s.c.Neighbor(v, rng.Intn(d))
+		if w != p {
+			return StateOf(w)
+		}
+	}
+}
+
+// space2 is G(2): states are edges; neighbor selection follows the paper's
+// §5 two-stage procedure, O(1) expected time.
+type space2 struct {
+	c access.Client
+}
+
+func (s *space2) D() int { return 2 }
+
+func (s *space2) RandomState(rng *rand.Rand) State {
+	for {
+		v := s.c.RandomNode(rng)
+		d := s.c.Degree(v)
+		if d == 0 {
+			continue
+		}
+		return StateOf(v, s.c.Neighbor(v, rng.Intn(d)))
+	}
+}
+
+// StateDegree of edge (u,v) in G(2) is du + dv - 2 (paper §4.1 example).
+func (s *space2) StateDegree(st State) int {
+	return s.c.Degree(st.Node(0)) + s.c.Degree(st.Node(1)) - 2
+}
+
+func (s *space2) RandomNeighbor(st State, rng *rand.Rand) State {
+	u, v := st.Node(0), st.Node(1)
+	du, dv := s.c.Degree(u), s.c.Degree(v)
+	if du+dv-2 <= 0 {
+		return st // isolated edge component; hold in place
+	}
+	for {
+		// Pick an endpoint proportionally to its degree, then one of its
+		// neighbors uniformly; reject the partner endpoint. Each of the
+		// du+dv-2 neighboring edges is uniform.
+		base, other := u, v
+		if rng.Intn(du+dv) >= du {
+			base, other = v, u
+		}
+		w := s.c.Neighbor(base, rng.Intn(s.c.Degree(base)))
+		if w != other {
+			return StateOf(base, w)
+		}
+	}
+}
+
+func (s *space2) RandomNeighborAvoiding(st, prev State, rng *rand.Rand) State {
+	if s.StateDegree(st) <= 1 {
+		return prev
+	}
+	for {
+		next := s.RandomNeighbor(st, rng)
+		if next != prev {
+			return next
+		}
+	}
+}
+
+// spaceD is G(d) for d >= 3: the neighbor list of a state is materialized by
+// swapping each node out and pulling in every neighbor of the remainder that
+// keeps the induced subgraph connected (paper §5, O(d^2 |E|/|V|) per state).
+// A tiny cache keyed by state avoids recomputing lists for the window states
+// the estimator re-queries.
+type spaceD struct {
+	c access.Client
+	d int
+
+	cache map[State][]State
+	cand  []int32 // scratch: candidate incoming nodes
+}
+
+func newSpaceD(c access.Client, d int) *spaceD {
+	return &spaceD{c: c, d: d, cache: make(map[State][]State, 16)}
+}
+
+func (s *spaceD) D() int { return s.d }
+
+func (s *spaceD) RandomState(rng *rand.Rand) State {
+	for {
+		v := s.c.RandomNode(rng)
+		if s.c.Degree(v) == 0 {
+			continue
+		}
+		nodes := []int32{v}
+		ok := true
+		for len(nodes) < s.d {
+			// Add a random neighbor of a random already-chosen node.
+			base := nodes[rng.Intn(len(nodes))]
+			db := s.c.Degree(base)
+			w := s.c.Neighbor(base, rng.Intn(db))
+			dup := false
+			for _, x := range nodes {
+				if x == w {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				// Retry a bounded number of times via outer restart to avoid
+				// livelock in tiny components.
+				if rng.Intn(4) == 0 {
+					ok = false
+					break
+				}
+				continue
+			}
+			nodes = append(nodes, w)
+		}
+		if ok {
+			return StateOf(nodes...)
+		}
+	}
+}
+
+func (s *spaceD) StateDegree(st State) int { return len(s.neighbors(st)) }
+
+func (s *spaceD) RandomNeighbor(st State, rng *rand.Rand) State {
+	ns := s.neighbors(st)
+	if len(ns) == 0 {
+		return st
+	}
+	return ns[rng.Intn(len(ns))]
+}
+
+func (s *spaceD) RandomNeighborAvoiding(st, prev State, rng *rand.Rand) State {
+	ns := s.neighbors(st)
+	switch len(ns) {
+	case 0:
+		return st
+	case 1:
+		return ns[0]
+	}
+	for {
+		next := ns[rng.Intn(len(ns))]
+		if next != prev {
+			return next
+		}
+	}
+}
+
+// neighbors materializes (and caches) the full G(d) neighbor list of st.
+func (s *spaceD) neighbors(st State) []State {
+	if ns, ok := s.cache[st]; ok {
+		return ns
+	}
+	var out []State
+	d := st.Len()
+	var rem [MaxD]int32
+	for xi := 0; xi < d; xi++ {
+		// rem = st minus node xi.
+		n := 0
+		for i := 0; i < d; i++ {
+			if i != xi {
+				rem[n] = st.Node(i)
+				n++
+			}
+		}
+		// Candidate incoming nodes: neighbors of rem, excluding st's nodes.
+		// Gather then sort-dedup — allocation-free after warm-up.
+		cand := s.cand[:0]
+		for i := 0; i < n; i++ {
+			for _, y := range s.c.Neighbors(rem[i]) {
+				if !st.Contains(y) {
+					cand = append(cand, y)
+				}
+			}
+		}
+		sortInt32(cand)
+		s.cand = cand
+		var prev int32 = -1
+		for _, y := range cand {
+			if y == prev {
+				continue
+			}
+			prev = y
+			if s.connectedWith(rem[:n], y) {
+				out = append(out, newStateReplacing(rem[:n], y))
+			}
+		}
+	}
+	// Bound the cache: the walk only revisits states inside the current
+	// window, so a small cache suffices.
+	if len(s.cache) >= 32 {
+		for k := range s.cache {
+			delete(s.cache, k)
+		}
+	}
+	s.cache[st] = out
+	return out
+}
+
+// connectedWith reports whether rem ∪ {y} induces a connected subgraph.
+func (s *spaceD) connectedWith(rem []int32, y int32) bool {
+	var nodes [MaxD]int32
+	copy(nodes[:], rem)
+	nodes[len(rem)] = y
+	n := len(rem) + 1
+	var adj [MaxD]uint8
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if s.c.HasEdge(nodes[i], nodes[j]) {
+				adj[i] |= 1 << uint(j)
+				adj[j] |= 1 << uint(i)
+			}
+		}
+	}
+	reach := uint8(1)
+	for {
+		next := reach
+		for v := 0; v < n; v++ {
+			if reach&(1<<uint(v)) != 0 {
+				next |= adj[v]
+			}
+		}
+		if next == reach {
+			break
+		}
+		reach = next
+	}
+	return reach == uint8(1<<uint(n))-1
+}
+
+// sortInt32 sorts in place (small inputs dominate: insertion sort below a
+// threshold, stdlib sort above).
+func sortInt32(xs []int32) {
+	if len(xs) < 24 {
+		for i := 1; i < len(xs); i++ {
+			for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+				xs[j], xs[j-1] = xs[j-1], xs[j]
+			}
+		}
+		return
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func newStateReplacing(rem []int32, y int32) State {
+	nodes := make([]int32, 0, MaxD)
+	nodes = append(nodes, rem...)
+	nodes = append(nodes, y)
+	return StateOf(nodes...)
+}

@@ -1,0 +1,109 @@
+// Package walk implements random walks on the d-node subgraph relationship
+// graph G(d) of a restricted-access graph (paper §2.1, §5). A state is a set
+// of d nodes inducing a connected subgraph of G; G(d) joins two states that
+// share d-1 nodes (G(1) is G itself). Neighbor generation is on the fly:
+// O(1) for d = 1 and d = 2, full materialization for d >= 3, exactly as the
+// paper's implementation section prescribes.
+//
+// The package provides the plain simple random walk (SRW) and the
+// non-backtracking variant (NB-SRW, paper §4.2).
+package walk
+
+import "fmt"
+
+// MaxD is the largest supported walk order (k-1 for k = 5... plus d = k
+// itself for the SRW-on-G(k) baseline, so 5).
+const MaxD = 5
+
+// State is a set of up to MaxD nodes inducing a connected subgraph, stored
+// sorted ascending. The zero State is empty. State is comparable and usable
+// as a map key.
+type State struct {
+	v [MaxD]int32
+	n uint8
+}
+
+// StateOf builds a state from the given nodes (sorted internally; duplicates
+// are a bug and panic).
+func StateOf(nodes ...int32) State {
+	if len(nodes) == 0 || len(nodes) > MaxD {
+		panic(fmt.Sprintf("walk: StateOf: %d nodes", len(nodes)))
+	}
+	var s State
+	s.n = uint8(len(nodes))
+	copy(s.v[:], nodes)
+	// Insertion sort (<= 5 elements).
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && s.v[j] < s.v[j-1]; j-- {
+			s.v[j], s.v[j-1] = s.v[j-1], s.v[j]
+		}
+	}
+	for i := 1; i < len(nodes); i++ {
+		if s.v[i] == s.v[i-1] {
+			panic(fmt.Sprintf("walk: StateOf: duplicate node %d", s.v[i]))
+		}
+	}
+	return s
+}
+
+// Len returns the number of nodes in the state.
+func (s State) Len() int { return int(s.n) }
+
+// Node returns the i-th node (sorted order).
+func (s State) Node(i int) int32 { return s.v[i] }
+
+// Nodes appends the state's nodes to dst.
+func (s State) Nodes(dst []int32) []int32 { return append(dst, s.v[:s.n]...) }
+
+// Contains reports whether x is one of the state's nodes.
+func (s State) Contains(x int32) bool {
+	for i := 0; i < int(s.n); i++ {
+		if s.v[i] == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Shared returns the number of nodes shared with t (both sorted: linear
+// merge).
+func (s State) Shared(t State) int {
+	i, j, c := 0, 0, 0
+	for i < int(s.n) && j < int(t.n) {
+		switch {
+		case s.v[i] < t.v[j]:
+			i++
+		case s.v[i] > t.v[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// ReplaceOne returns the state with old removed and new added.
+func (s State) ReplaceOne(old, new int32) State {
+	nodes := make([]int32, 0, MaxD)
+	for i := 0; i < int(s.n); i++ {
+		if s.v[i] != old {
+			nodes = append(nodes, s.v[i])
+		}
+	}
+	nodes = append(nodes, new)
+	return StateOf(nodes...)
+}
+
+// String renders the state as (v1,v2,...).
+func (s State) String() string {
+	out := "("
+	for i := 0; i < int(s.n); i++ {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprint(s.v[i])
+	}
+	return out + ")"
+}

@@ -1,0 +1,63 @@
+package walk
+
+import "math/rand"
+
+// Walk is a running random walk on a Space — either the simple random walk
+// (uniform neighbor each step) or the non-backtracking variant of paper §4.2
+// (never return to the immediately previous state unless it is the only
+// neighbor).
+type Walk struct {
+	space Space
+	rng   *rand.Rand
+	nb    bool
+
+	cur     State
+	prev    State
+	hasPrev bool
+	steps   int64
+}
+
+// New starts a walk at a random valid state.
+func New(space Space, nb bool, rng *rand.Rand) *Walk {
+	return NewAt(space, space.RandomState(rng), nb, rng)
+}
+
+// NewAt starts a walk at the given state.
+func NewAt(space Space, start State, nb bool, rng *rand.Rand) *Walk {
+	return &Walk{space: space, rng: rng, nb: nb, cur: start}
+}
+
+// Space returns the walk's state space.
+func (w *Walk) Space() Space { return w.space }
+
+// NonBacktracking reports whether the walk avoids its previous state.
+func (w *Walk) NonBacktracking() bool { return w.nb }
+
+// Current returns the state the walker is at.
+func (w *Walk) Current() State { return w.cur }
+
+// Steps returns the number of transitions taken so far.
+func (w *Walk) Steps() int64 { return w.steps }
+
+// Step advances one transition and returns the new state.
+func (w *Walk) Step() State {
+	var next State
+	if w.nb && w.hasPrev {
+		next = w.space.RandomNeighborAvoiding(w.cur, w.prev, w.rng)
+	} else {
+		next = w.space.RandomNeighbor(w.cur, w.rng)
+	}
+	w.prev = w.cur
+	w.hasPrev = true
+	w.cur = next
+	w.steps++
+	return next
+}
+
+// Burn advances n transitions without returning intermediate states (burn-in
+// toward stationarity).
+func (w *Walk) Burn(n int) {
+	for i := 0; i < n; i++ {
+		w.Step()
+	}
+}
