@@ -1,20 +1,22 @@
 package graphletrw
 
 // Root benchmark harness: one testing.B benchmark per table and figure of
-// the paper's evaluation (see DESIGN.md §4 for the index). The benchmarks
-// run the corresponding experiment driver at a reduced budget so that
-// `go test -bench=. -benchmem` regenerates every artifact in minutes;
+// the paper's evaluation (see README.md for the experiment index). The
+// benchmarks run the corresponding experiment driver at a reduced budget so
+// that `go test -bench=. -benchmem` regenerates every artifact in minutes;
 // cmd/experiments runs the same drivers at paper-scale budgets.
 //
 // Per-method micro-benchmarks (cost of one walk step for each method) follow
 // the experiment benchmarks; they quantify the per-step costs behind
-// Table 6.
+// Table 6. BenchmarkParallelWalkers tracks the walker-ensemble scaling
+// (ns/step and steps/sec at 1, 2, 4, 8 walkers) across PRs.
 
 import (
 	"fmt"
 	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/baseline"
@@ -138,6 +140,37 @@ func BenchmarkStepSRW3K4(b *testing.B)    { benchmarkWalkSteps(b, core.Config{K:
 func BenchmarkStepSRW3K5(b *testing.B)    { benchmarkWalkSteps(b, core.Config{K: 5, D: 3}) }
 func BenchmarkStepSRW4K5(b *testing.B)    { benchmarkWalkSteps(b, core.Config{K: 5, D: 4}) }
 
+// BenchmarkParallelWalkers runs a fixed total step budget through walker
+// ensembles of growing size on the benchmark graph (K=4, D=2, CSS — the
+// paper's recommended 4-node method) and reports ns/step and steps/sec.
+// On multi-core hardware steps/sec should scale near-linearly until the
+// core count; the BENCH_*.json trajectory tracks this across PRs.
+func BenchmarkParallelWalkers(b *testing.B) {
+	g := benchGraph()
+	const totalSteps = 20000
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("walkers=%d", w), func(b *testing.B) {
+			client := access.NewGraphClient(g)
+			cfg := core.Config{K: 4, D: 2, CSS: true, Seed: 7, Walkers: w}
+			est, err := core.NewEstimator(client, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.Run(totalSteps); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start)
+			steps := float64(b.N) * totalSteps
+			b.ReportMetric(float64(elapsed.Nanoseconds())/steps, "ns/step")
+			b.ReportMetric(steps/elapsed.Seconds(), "steps/sec")
+		})
+	}
+}
+
 // --- baseline micro-benchmarks ---
 
 func BenchmarkWedgeSample(b *testing.B) {
@@ -195,7 +228,7 @@ func BenchmarkGenHolmeKim(b *testing.B) {
 }
 
 // Example-style smoke check that the benchmark harness wiring matches the
-// experiment list in DESIGN.md.
+// experiment index in README.md.
 func ExampleConfig() {
 	cfg := core.Config{K: 4, D: 2, CSS: true}
 	fmt.Println(cfg.MethodName())

@@ -1,10 +1,10 @@
 // Command experiments regenerates the paper's tables and figures on the
-// synthetic stand-in datasets (see DESIGN.md for the per-experiment index and
-// EXPERIMENTS.md for recorded results).
+// synthetic stand-in datasets (see the repository README.md for the
+// per-experiment index).
 //
 // Usage:
 //
-//	experiments [-steps N] [-trials N] [table2|table3|table4|table5|fig4|fig5|fig6|table6|fig7|fig8|table7|all]
+//	experiments [-steps N] [-trials N] [-walkers W] [table2|table3|table4|table5|fig4|fig5|fig6|table6|fig7|fig8|table7|all]
 //
 // Defaults follow the paper where practical: 20K walk steps; 200 independent
 // simulations (the paper uses 1,000, and 100 for the slow SRW4 — this harness
@@ -23,10 +23,11 @@ import (
 func main() {
 	steps := flag.Int("steps", 20000, "random walk steps per run")
 	trials := flag.Int("trials", 200, "independent simulations per method")
+	walkers := flag.Int("walkers", 0, "concurrent walkers per run (0 = single walker)")
 	flag.Usage = usage
 	flag.Parse()
 
-	p := experiments.Params{Steps: *steps, Trials: *trials}
+	p := experiments.Params{Steps: *steps, Trials: *trials, Walkers: *walkers}
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"all"}
@@ -71,7 +72,7 @@ func timed(name string, fn func()) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments [-steps N] [-trials N] <experiment>...
+	fmt.Fprintln(os.Stderr, `usage: experiments [-steps N] [-trials N] [-walkers W] <experiment>...
 
 experiments:
   table2   alpha coefficients for 3,4-node graphlets

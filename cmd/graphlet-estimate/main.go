@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	graphlet-estimate -graph graph.txt [-k 4] [-d 2] [-css] [-nb] [-steps 20000] [-seed 1] [-exact] [-counts]
+//	graphlet-estimate -graph graph.txt [-k 4] [-d 2] [-css] [-nb] [-steps 20000] [-walkers 1] [-seed 1] [-exact] [-counts]
 //
 // The graph file contains "u v" lines ('#'/'%' comments allowed); the largest
 // connected component is used. With -exact, the exact concentration is also
@@ -22,15 +22,16 @@ import (
 
 func main() {
 	var (
-		path   = flag.String("graph", "", "edge list file (required)")
-		k      = flag.Int("k", 4, "graphlet size (3..5)")
-		d      = flag.Int("d", 2, "walk order d (1..k); paper recommends 1 for k=3, 2 for k=4,5")
-		css    = flag.Bool("css", true, "corresponding state sampling")
-		nb     = flag.Bool("nb", false, "non-backtracking walk")
-		steps  = flag.Int("steps", 20000, "random walk steps")
-		seed   = flag.Int64("seed", 1, "random seed")
-		exact  = flag.Bool("exact", false, "also enumerate the exact concentration")
-		counts = flag.Bool("counts", false, "also print unbiased count estimates (d <= 2)")
+		path    = flag.String("graph", "", "edge list file (required)")
+		k       = flag.Int("k", 4, "graphlet size (3..5)")
+		d       = flag.Int("d", 2, "walk order d (1..k); paper recommends 1 for k=3, 2 for k=4,5")
+		css     = flag.Bool("css", true, "corresponding state sampling")
+		nb      = flag.Bool("nb", false, "non-backtracking walk")
+		steps   = flag.Int("steps", 20000, "total random walk steps (split across walkers)")
+		walkers = flag.Int("walkers", 1, "independent concurrent walkers the step budget is split across")
+		seed    = flag.Int64("seed", 1, "random seed")
+		exact   = flag.Bool("exact", false, "also enumerate the exact concentration")
+		counts  = flag.Bool("counts", false, "also print unbiased count estimates (d <= 2)")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -45,7 +46,7 @@ func main() {
 	fmt.Printf("graph: %d nodes, %d edges (LCC of input with %d nodes)\n",
 		lcc.NumNodes(), lcc.NumEdges(), g.NumNodes())
 
-	cfg := graphletrw.Config{K: *k, D: *d, CSS: *css, NB: *nb, Seed: *seed}
+	cfg := graphletrw.Config{K: *k, D: *d, CSS: *css, NB: *nb, Walkers: *walkers, Seed: *seed}
 	start := time.Now()
 	res, err := graphletrw.Estimate(graphletrw.NewClient(lcc), cfg, *steps)
 	if err != nil {
@@ -65,8 +66,12 @@ func main() {
 		countEst = res.Counts(graphletrw.TwoR(lcc, *d))
 	}
 
-	fmt.Printf("method %s, %d steps (%d valid samples), %s\n\n",
-		cfg.MethodName(), res.Steps, res.ValidSamples, elapsed.Round(time.Millisecond))
+	nw := *walkers
+	if nw < 1 {
+		nw = 1
+	}
+	fmt.Printf("method %s, %d steps, %d walker(s) (%d valid samples), %s\n\n",
+		cfg.MethodName(), res.Steps, nw, res.ValidSamples, elapsed.Round(time.Millisecond))
 	conc := res.Concentration()
 	fmt.Printf("%-22s %12s", "graphlet", "estimate")
 	if exactConc != nil {

@@ -17,12 +17,18 @@
 //	g, _ := graphletrw.LoadGraph("graph.txt")         // or build one
 //	client := graphletrw.NewClient(g)                  // restricted access
 //	res, _ := graphletrw.Estimate(client, graphletrw.Config{
-//		K: 4, D: 2, CSS: true, Seed: 1,
+//		K: 4, D: 2, CSS: true, Seed: 1, Walkers: 8,
 //	}, 20000)
 //	fmt.Println(res.Concentration())                   // ĉ⁴ per type
 //
-// See the examples directory for runnable programs and EXPERIMENTS.md for
-// the reproduction of every table and figure in the paper.
+// Estimation runs on a layered engine: a Config.Walkers-sized ensemble of
+// independent walkers splits the step budget, runs concurrently over the
+// shared (concurrency-safe) client, and merges the unbiased per-walker
+// accumulators by summation (Result.Merge) — deterministically, so equal
+// Config and Seed reproduce byte-identical results at any GOMAXPROCS.
+//
+// See the examples directory for runnable programs and README.md for the
+// package layout and the index of every reproduced table and figure.
 package graphletrw
 
 import (
@@ -83,6 +89,17 @@ func NewClient(g *Graph) Client { return access.NewGraphClient(g) }
 func NewCountingClient(c Client, numNodes int) *CountingClient {
 	return access.NewCounting(c, numNodes)
 }
+
+// MemoClient is a concurrency-safe memoizing neighbor-cache decorator: an
+// ensemble of parallel walkers sharing one MemoClient fetches each
+// neighborhood from the inner client exactly once (per-node single flight).
+type MemoClient = access.Memo
+
+// NewMemoClient wraps c with the shared memoizing neighbor cache. Use it
+// when running Config.Walkers > 1 over an expensive boundary (the HTTP crawl
+// client, a latency-modeling wrapper) so concurrent walkers never re-fetch a
+// neighbor list.
+func NewMemoClient(c Client) *MemoClient { return access.NewMemo(c) }
 
 // NewEstimator builds a reusable estimator for the given method.
 func NewEstimator(c Client, cfg Config) (*core.Estimator, error) {

@@ -1,0 +1,132 @@
+package access
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Memo wraps a Client with a concurrency-safe memoizing neighbor cache: the
+// first fetch of a node's neighbor list goes to the inner client, every later
+// call — from any goroutine — is answered from the cache. Concurrent fetches
+// of the same node are coalesced (per-node single flight), so an ensemble of
+// parallel walkers crawling over an expensive boundary (the HTTP apiserver
+// client, a Delayed client modeling API latency) pays for each neighborhood
+// exactly once no matter how many walkers touch it.
+//
+// Edge probes are answered from whichever endpoint's list is already cached,
+// and otherwise charge a fetch of u's list — the strategy a polite crawler
+// uses instead of a dedicated edge endpoint. This changes the inner call mix
+// (HasEdge on the inner client is never used); wrap a Counting client
+// *inside* the Memo to measure the de-duplicated crawl cost, or outside to
+// measure the walkers' raw demand.
+type Memo struct {
+	inner  Client
+	shards [memoShards]memoShard
+
+	lookups atomic.Int64
+	fetches atomic.Int64
+}
+
+const memoShards = 64
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[int32]*memoEntry
+}
+
+type memoEntry struct {
+	once sync.Once
+	done atomic.Bool
+	ns   []int32
+}
+
+// NewMemo wraps inner. The inner client must be safe for concurrent use if
+// the Memo is shared across goroutines (all clients in this package and in
+// internal/apiserver are).
+func NewMemo(inner Client) *Memo {
+	c := &Memo{inner: inner}
+	for i := range c.shards {
+		c.shards[i].m = make(map[int32]*memoEntry)
+	}
+	return c
+}
+
+// MemoStats reports cache effectiveness.
+type MemoStats struct {
+	// Lookups counts neighbor-list resolutions requested by callers.
+	Lookups int64
+	// InnerFetches counts neighbor lists actually fetched from the inner
+	// client — the de-duplicated crawl footprint.
+	InnerFetches int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Memo) Stats() MemoStats {
+	return MemoStats{Lookups: c.lookups.Load(), InnerFetches: c.fetches.Load()}
+}
+
+func (c *Memo) shard(v int32) *memoShard { return &c.shards[uint32(v)%memoShards] }
+
+// neighbors resolves v's neighbor list, fetching it from the inner client at
+// most once across all goroutines.
+func (c *Memo) neighbors(v int32) []int32 {
+	c.lookups.Add(1)
+	sh := c.shard(v)
+	sh.mu.Lock()
+	e, ok := sh.m[v]
+	if !ok {
+		e = &memoEntry{}
+		sh.m[v] = e
+	}
+	sh.mu.Unlock()
+	e.once.Do(func() {
+		c.fetches.Add(1)
+		e.ns = c.inner.Neighbors(v)
+		e.done.Store(true)
+	})
+	return e.ns
+}
+
+// cached returns v's neighbor list only if it is already fully fetched.
+func (c *Memo) cachedList(v int32) ([]int32, bool) {
+	sh := c.shard(v)
+	sh.mu.Lock()
+	e, ok := sh.m[v]
+	sh.mu.Unlock()
+	if ok && e.done.Load() {
+		return e.ns, true
+	}
+	return nil, false
+}
+
+// Degree implements Client.
+func (c *Memo) Degree(v int32) int { return len(c.neighbors(v)) }
+
+// Neighbors implements Client.
+func (c *Memo) Neighbors(v int32) []int32 { return c.neighbors(v) }
+
+// Neighbor implements Client.
+func (c *Memo) Neighbor(v int32, i int) int32 { return c.neighbors(v)[i] }
+
+// HasEdge implements Client, answering from cached neighbor lists when
+// either endpoint is present and otherwise fetching u's list.
+func (c *Memo) HasEdge(u, v int32) bool {
+	if ns, ok := c.cachedList(u); ok {
+		return containsSorted(ns, v)
+	}
+	if ns, ok := c.cachedList(v); ok {
+		return containsSorted(ns, u)
+	}
+	return containsSorted(c.neighbors(u), v)
+}
+
+// RandomNode implements Client.
+func (c *Memo) RandomNode(rng *rand.Rand) int32 { return c.inner.RandomNode(rng) }
+
+// containsSorted reports whether the sorted list ns contains v.
+func containsSorted(ns []int32, v int32) bool {
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	return i < len(ns) && ns[i] == v
+}

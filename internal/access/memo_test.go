@@ -1,0 +1,96 @@
+package access
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestMemoAnswersMatchInner(t *testing.T) {
+	g := gen.HolmeKim(120, 3, 0.5, 11)
+	inner := NewGraphClient(g)
+	memo := NewMemo(inner)
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if memo.Degree(v) != inner.Degree(v) {
+			t.Fatalf("Degree(%d) mismatch", v)
+		}
+		ns := memo.Neighbors(v)
+		want := inner.Neighbors(v)
+		if len(ns) != len(want) {
+			t.Fatalf("Neighbors(%d) = %v, want %v", v, ns, want)
+		}
+		for i := range ns {
+			if ns[i] != want[i] {
+				t.Fatalf("Neighbors(%d)[%d] mismatch", v, i)
+			}
+			if memo.Neighbor(v, i) != want[i] {
+				t.Fatalf("Neighbor(%d,%d) mismatch", v, i)
+			}
+		}
+	}
+	for u := int32(0); u < 40; u++ {
+		for v := int32(0); v < 40; v++ {
+			if u != v && memo.HasEdge(u, v) != inner.HasEdge(u, v) {
+				t.Fatalf("HasEdge(%d,%d) mismatch", u, v)
+			}
+		}
+	}
+}
+
+// TestMemoSingleFlight hammers the same nodes from many goroutines (run with
+// -race): every distinct node must be fetched from the inner client exactly
+// once, which a Counting client inside the Memo observes directly.
+func TestMemoSingleFlight(t *testing.T) {
+	g := gen.HolmeKim(50, 3, 0.5, 3)
+	counting := NewCounting(NewGraphClient(g), g.NumNodes())
+	memo := NewMemo(counting)
+
+	const goroutines = 16
+	const nodes = 20
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for v := int32(0); v < nodes; v++ {
+					memo.Neighbors(v)
+					memo.Degree(v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := counting.Stats()
+	if st.NeighborCalls != nodes {
+		t.Errorf("inner fetched %d times, want exactly %d (one per node)", st.NeighborCalls, nodes)
+	}
+	ms := memo.Stats()
+	if ms.InnerFetches != nodes {
+		t.Errorf("memo reports %d inner fetches, want %d", ms.InnerFetches, nodes)
+	}
+	if want := int64(goroutines * 50 * nodes * 2); ms.Lookups != want {
+		t.Errorf("memo reports %d lookups, want %d", ms.Lookups, want)
+	}
+}
+
+// TestMemoHasEdgeUsesCachedEndpoint: once v's list is cached, HasEdge(u, v)
+// must not trigger a fetch of u.
+func TestMemoHasEdgeUsesCachedEndpoint(t *testing.T) {
+	g := gen.HolmeKim(30, 3, 0.5, 7)
+	counting := NewCounting(NewGraphClient(g), g.NumNodes())
+	memo := NewMemo(counting)
+
+	memo.Neighbors(3)
+	before := counting.Stats().NeighborCalls
+	memo.HasEdge(7, 3) // 3 cached -> answered from its list
+	if got := counting.Stats().NeighborCalls; got != before {
+		t.Errorf("HasEdge fetched a list (%d -> %d) despite a cached endpoint", before, got)
+	}
+	memo.HasEdge(7, 8) // neither cached -> exactly one fetch (of node 7)
+	if got := counting.Stats().NeighborCalls; got != before+1 {
+		t.Errorf("HasEdge on uncached pair issued %d fetches, want 1", got-before)
+	}
+}

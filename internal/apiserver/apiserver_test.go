@@ -5,6 +5,8 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -147,5 +149,78 @@ func TestEstimateOverHTTP(t *testing.T) {
 	}
 	if c.Requests >= 30000 {
 		t.Errorf("caching ineffective: %d requests for 30000 steps on a 300-node graph", c.Requests)
+	}
+}
+
+// TestClientConcurrentSingleFlight hammers one node from many goroutines
+// (run with -race): the per-node single flight must collapse them into one
+// HTTP round trip.
+func TestClientConcurrentSingleFlight(t *testing.T) {
+	srv, h := newTestServer(t)
+	c := NewClient(srv.URL, srv.Client())
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				for v := int32(0); v < 10; v++ {
+					c.Neighbors(v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.RequestCount(); got != 10 {
+		t.Errorf("%d HTTP requests for 10 distinct nodes, want 10", got)
+	}
+	want := h.g.Neighbors(4)
+	got := c.Neighbors(4)
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors(4) corrupted under concurrency: %v", got)
+	}
+}
+
+// TestParallelEstimateOverHTTP drives a 4-walker ensemble over the httptest
+// boundary through one shared client (run with -race): the merged result and
+// the request counter must be exact — identical across repeated runs against
+// identically-seeded servers — because walker starts draw the server-side
+// seeds in walker-index order and the shared cache deduplicates every
+// neighbor fetch. Each run gets a fresh server so /v1/nodes/random replays
+// the same stream.
+func TestParallelEstimateOverHTTP(t *testing.T) {
+	var h *Handler
+	cfg := core.Config{K: 3, D: 1, CSS: true, Seed: 11, Walkers: 4}
+	run := func() (*core.Result, int64) {
+		var srv *httptest.Server
+		srv, h = newTestServer(t)
+		c := NewClient(srv.URL, srv.Client())
+		est, err := core.NewEstimator(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := est.Run(20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, c.RequestCount()
+	}
+	res1, req1 := run()
+	res2, req2 := run()
+	if !reflect.DeepEqual(res1, res2) {
+		t.Error("merged results differ across identical runs over HTTP")
+	}
+	if req1 != req2 {
+		t.Errorf("request counts differ across identical runs: %d vs %d", req1, req2)
+	}
+	// The walkers never re-fetch: requests stay bounded by the node count
+	// plus the per-walker /nodes/random seeds.
+	if req1 >= int64(h.g.NumNodes())+int64(cfg.Walkers)+1 {
+		t.Errorf("caching ineffective: %d requests for a %d-node graph", req1, h.g.NumNodes())
+	}
+	want := exact.Concentrations(exact.ThreeNodeCounts(h.g))
+	got := res1.Concentration()
+	if math.Abs(got[1]-want[1]) > 0.2*want[1] {
+		t.Errorf("4-walker triangle concentration over HTTP: got %.4f, want %.4f", got[1], want[1])
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/access"
 )
@@ -15,15 +17,28 @@ import (
 // matter how many walk steps revisit it; edge probes are answered from the
 // cache when either endpoint was fetched.
 //
-// Client is not safe for concurrent use (one crawler per walk, as usual);
-// wrap per-goroutine instances around the same base URL for parallel trials.
+// Client is safe for concurrent use: a parallel walker ensemble
+// (core.Config.Walkers > 1) can share one Client, and concurrent fetches of
+// the same node are coalesced into a single HTTP round trip (per-node single
+// flight), so Requests counts exactly one request per distinct node fetched
+// plus the /nodes/random seeds. Read Requests only after the crawl
+// quiesces, or via RequestCount.
 type Client struct {
 	base string
 	http *http.Client
 
-	cache map[int32][]int32
-	// Requests counts HTTP round trips actually issued.
+	mu       sync.RWMutex
+	cache    map[int32][]int32
+	inflight map[int32]*fetchCall
+
+	// Requests counts HTTP round trips actually issued (updated atomically).
 	Requests int64
+}
+
+// fetchCall is an in-flight neighbor fetch other goroutines can wait on.
+type fetchCall struct {
+	wg sync.WaitGroup
+	ns []int32
 }
 
 var _ access.Client = (*Client)(nil)
@@ -34,21 +49,62 @@ func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: base, http: hc, cache: make(map[int32][]int32)}
+	return &Client{
+		base:     base,
+		http:     hc,
+		cache:    make(map[int32][]int32),
+		inflight: make(map[int32]*fetchCall),
+	}
 }
 
+// RequestCount returns the number of HTTP round trips issued so far.
+func (c *Client) RequestCount() int64 { return atomic.LoadInt64(&c.Requests) }
+
 func (c *Client) fetch(v int32) []int32 {
-	if ns, ok := c.cache[v]; ok {
+	c.mu.RLock()
+	ns, ok := c.cache[v]
+	c.mu.RUnlock()
+	if ok {
 		return ns
 	}
+	c.mu.Lock()
+	if ns, ok := c.cache[v]; ok {
+		c.mu.Unlock()
+		return ns
+	}
+	if call, ok := c.inflight[v]; ok {
+		c.mu.Unlock()
+		call.wg.Wait()
+		return call.ns
+	}
+	call := &fetchCall{}
+	call.wg.Add(1)
+	c.inflight[v] = call
+	c.mu.Unlock()
+
+	// c.get panics on transport errors; release waiters and clear the
+	// inflight entry even then, or a recovered panic higher up (runStage
+	// converts walker panics to errors) would leave them blocked forever.
+	ok = false
+	defer func() {
+		c.mu.Lock()
+		if ok {
+			c.cache[v] = call.ns
+		}
+		delete(c.inflight, v)
+		c.mu.Unlock()
+		call.wg.Done()
+	}()
+
 	var resp neighborsResponse
 	c.get(fmt.Sprintf("%s/v1/nodes/%d/neighbors", c.base, v), &resp)
-	c.cache[v] = resp.Neighbors
-	return resp.Neighbors
+	call.ns = resp.Neighbors
+	ok = true
+	return call.ns
 }
 
 func (c *Client) get(url string, out any) {
-	c.Requests++
+	atomic.AddInt64(&c.Requests, 1)
 	r, err := c.http.Get(url)
 	if err != nil {
 		panic(fmt.Sprintf("apiserver client: %v", err))
@@ -75,11 +131,19 @@ func (c *Client) Neighbor(v int32, i int) int32 { return c.fetch(v)[i] }
 // when possible and otherwise fetching the smaller-unknown endpoint — the
 // strategy a polite crawler uses instead of a dedicated edge endpoint.
 func (c *Client) HasEdge(u, v int32) bool {
-	if ns, ok := c.cache[u]; ok {
-		return containsSorted(ns, v)
+	c.mu.RLock()
+	nsU, okU := c.cache[u]
+	var nsV []int32
+	var okV bool
+	if !okU {
+		nsV, okV = c.cache[v]
 	}
-	if ns, ok := c.cache[v]; ok {
-		return containsSorted(ns, u)
+	c.mu.RUnlock()
+	if okU {
+		return containsSorted(nsU, v)
+	}
+	if okV {
+		return containsSorted(nsV, u)
 	}
 	return containsSorted(c.fetch(u), v)
 }

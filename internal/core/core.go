@@ -9,11 +9,21 @@
 // Special cases recover the prior art the paper compares against:
 // d = k-1 is PSRW [36], d = k is the SRW-on-G(k) method of [36], and
 // (k=3, d=1) is the Hardiman-Katzir clustering-coefficient walk [11].
+//
+// The engine is layered:
+//
+//   - walker (walker.go): one walk, its sliding window, and a private Result
+//     accumulator — the pure per-goroutine logic.
+//   - ensemble (ensemble.go): spawns Config.Walkers walkers with
+//     deterministically derived seeds and window budgets and runs them
+//     concurrently; each walker owns its walk.Space and RNG.
+//   - merge (Result.Merge): sums walker accumulators in walker-index order,
+//     exact because Equation 4 is linear in the accumulated weights, and
+//     schedule-independent by construction.
 package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/access"
 	"repro/internal/graphlet"
@@ -44,12 +54,23 @@ type Config struct {
 	// entry of the result is recovered instead of being zero.
 	RecoverStars bool
 
-	// BurnIn is the number of transitions discarded before sampling starts.
-	// The paper uses none (bias decays by SLLN); experiments keep it at 0.
+	// BurnIn is the number of transitions discarded before sampling starts,
+	// per walker. The paper uses none (bias decays by SLLN); experiments keep
+	// it at 0.
 	BurnIn int
 
-	// Seed seeds the walk's RNG. Two estimators with equal Config produce
-	// identical runs.
+	// Walkers is the number of independent concurrent walks the run's window
+	// budget is split across (0 and 1 both mean one walk — the historical
+	// sequential behavior). Each walker gets its own RNG stream and
+	// walk.Space; their unbiased weight accumulators merge by summation
+	// (Result.Merge), so the estimate is exact regardless of W. The shared
+	// access.Client must be safe for concurrent use (all clients in
+	// internal/access and internal/apiserver are).
+	Walkers int
+
+	// Seed seeds the engine. Walker i derives its RNG stream from
+	// (Seed, i) deterministically, so two runs with equal Config produce
+	// byte-identical merged Results, at any GOMAXPROCS.
 	Seed int64
 }
 
@@ -77,16 +98,21 @@ func (c Config) Validate() error {
 	if c.BurnIn < 0 {
 		return fmt.Errorf("core: negative BurnIn %d", c.BurnIn)
 	}
+	if c.Walkers < 0 {
+		return fmt.Errorf("core: negative Walkers %d", c.Walkers)
+	}
 	if c.RecoverStars && (c.K != 4 || c.D != 1) {
 		return fmt.Errorf("core: RecoverStars applies only to K=4, D=1")
 	}
 	return nil
 }
 
-// Result holds the outcome of one estimation run.
+// Result holds the outcome of one estimation run (or, after Merge, of
+// several independent runs combined).
 type Result struct {
 	Config Config
-	// Steps is the number of windows processed (the paper's sample size n).
+	// Steps is the number of windows processed (the paper's sample size n),
+	// summed over all walkers.
 	Steps int
 	// ValidSamples counts windows whose l states covered exactly k distinct
 	// nodes (the "valid samples" of Figure 3).
@@ -98,6 +124,44 @@ type Result struct {
 	// TypeCounts[i] is the raw number of valid samples classified as
 	// graphlet type i+1 (diagnostic; not unbiased).
 	TypeCounts []int64
+	// StarAcc is the accumulated non-induced-star functional Σ C(d_v,3)/d_v
+	// (only maintained under Config.RecoverStars). It merges by summation,
+	// and the recovered 3-star weight is recomputed from the merged sums —
+	// the max(0,·) clamp of the recovery is nonlinear, so clamping per
+	// walker before summing would bias the merge.
+	StarAcc float64
+}
+
+// Merge folds o's accumulators into r: Steps, ValidSamples, Weights and
+// TypeCounts all sum. Summation is the exact combination rule because the
+// weight accumulator of Equation 4 is linear in the per-window contributions:
+// W independent walkers merged this way are statistically identical to one
+// walk that processed the union of their windows. The ensemble always merges
+// in walker-index order, so merged Results are reproducible bit for bit.
+func (r *Result) Merge(o *Result) {
+	r.Steps += o.Steps
+	r.ValidSamples += o.ValidSamples
+	for i := range r.Weights {
+		r.Weights[i] += o.Weights[i]
+	}
+	for i := range r.TypeCounts {
+		r.TypeCounts[i] += o.TypeCounts[i]
+	}
+	r.StarAcc += o.StarAcc
+	if r.Config.RecoverStars {
+		r.applyStarRecovery()
+	}
+}
+
+// applyStarRecovery rewrites the invisible 3-star weight from the linear
+// relation noninduced = stars + tailed + 2·chordal + 4·clique; all terms
+// share the 2|E| scale, so the concentration normalization stays valid.
+func (r *Result) applyStarRecovery() {
+	w := r.StarAcc - r.Weights[3] - 2*r.Weights[4] - 4*r.Weights[5]
+	if w < 0 {
+		w = 0
+	}
+	r.Weights[1] = w
 }
 
 // Concentration returns the estimated concentration vector ĉ^k (Equation 5
@@ -130,252 +194,78 @@ func (r *Result) Counts(twoR float64) []float64 {
 	return out
 }
 
-// Estimator runs the framework on a restricted-access graph.
+// Estimator runs the framework on a restricted-access graph: an ensemble of
+// Config.Walkers independent walkers over one shared client.
 type Estimator struct {
-	cfg    Config
-	client access.Client
-	space  walk.Space
-	w      *walk.Walk
-	rng    *rand.Rand
-
-	l     int
-	alpha []int64 // α per type (paper order)
-
-	// Sliding window of the last l states with their G(d) degrees.
-	win    []walk.State
-	degs   []int
-	winLen int
-	ring   int // index of the oldest window entry
-
-	// Scratch buffers.
-	unionNodes []int32
-	chainNodes []int32
-
-	// starAcc accumulates C(d_v,3)/d_v over visited nodes for RecoverStars.
-	starAcc float64
+	cfg     Config
+	client  access.Client
+	walkers []*walker
 }
 
-// NewEstimator builds an estimator over the client.
+// NewEstimator builds an estimator over the client. When cfg.Walkers > 1 the
+// client is used from that many goroutines concurrently during Run.
 func NewEstimator(client access.Client, cfg Config) (*Estimator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	l := cfg.K - cfg.D + 1
-	cat := graphlet.Catalog(cfg.K)
-	alpha := make([]int64, len(cat))
-	for i := range cat {
-		alpha[i] = cat[i].Alpha[cfg.D]
+	ws := make([]*walker, walkerCount(cfg.Walkers))
+	for i := range ws {
+		ws[i] = newWalker(client, cfg, walkerSeed(cfg.Seed, i))
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	space := walk.NewSpace(client, cfg.D)
-	e := &Estimator{
-		cfg:    cfg,
-		client: client,
-		space:  space,
-		rng:    rng,
-		l:      l,
-		alpha:  alpha,
-		win:    make([]walk.State, l),
-		degs:   make([]int, l),
-	}
-	return e, nil
+	return &Estimator{cfg: cfg, client: client, walkers: ws}, nil
 }
 
-// Run processes n windows (Algorithm 1) and returns the estimates.
+// Run processes n windows (Algorithm 1), split across the configured
+// walkers, and returns the merged estimates.
 func (e *Estimator) Run(n int) (*Result, error) {
 	return e.RunCheckpoints(n, 0, nil)
 }
 
 // RunCheckpoints is Run with a periodic callback: after every `every`
-// windows (and at the end) it invokes fn with the number of windows
-// processed so far and the current concentration estimate. Used to trace
-// convergence (Figure 6) from a single walk.
+// windows (summed across walkers, and at the end) it synchronizes the
+// ensemble and invokes fn with the number of windows processed so far and
+// the merged concentration snapshot. Used to trace convergence (Figure 6).
+// Checkpoints are ensemble-wide barriers; with fn == nil the walkers run
+// barrier-free end to end.
 func (e *Estimator) RunCheckpoints(n, every int, fn func(step int, conc []float64)) (*Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: non-positive sample budget %d", n)
 	}
-	res := &Result{
-		Config:     e.cfg,
-		Steps:      n,
-		Weights:    make([]float64, len(e.alpha)),
-		TypeCounts: make([]int64, len(e.alpha)),
+	nw := len(e.walkers)
+	for _, wk := range e.walkers {
+		wk.reset()
 	}
-	e.start()
-	e.starAcc = 0
-	for t := 0; t < n; t++ {
-		if err := e.accumulate(res); err != nil {
+	// Sequential seed draws: see walker.ensureSeeded.
+	for _, wk := range e.walkers {
+		wk.ensureSeeded()
+	}
+	prev := 0
+	for _, target := range checkpointTargets(n, every, fn != nil) {
+		lo, hi := prev, target
+		if err := runStage(nw, func(i int) error {
+			return e.walkers[i].run(walkerQuota(hi, nw, i) - walkerQuota(lo, nw, i))
+		}); err != nil {
 			return nil, err
 		}
-		if e.cfg.RecoverStars {
-			e.accumulateStars()
-			e.applyStarRecovery(res)
-		}
-		e.advance()
-		if fn != nil && every > 0 && (t+1)%every == 0 {
-			fn(t+1, res.concentrationSnapshot())
+		prev = target
+		if fn != nil {
+			fn(target, e.merged().Concentration())
 		}
 	}
-	if fn != nil && (every == 0 || n%every != 0) {
-		fn(n, res.concentrationSnapshot())
-	}
-	return res, nil
+	return e.merged(), nil
 }
 
-// accumulateStars adds the non-induced-star functional of the newest visited
-// node (stationary probability ∝ degree): C(d_v, 3)/d_v.
-func (e *Estimator) accumulateStars() {
-	_, deg := e.windowAt(e.l - 1)
-	d := float64(deg) // d = 1 walk: the state degree is the node degree
-	// C(d,3)/d simplifies to (d-1)(d-2)/6.
-	e.starAcc += (d - 1) * (d - 2) / 6
-}
-
-// applyStarRecovery rewrites the invisible 3-star weight from the linear
-// relation noninduced = stars + tailed + 2·chordal + 4·clique; all terms
-// share the 2|E| scale, so the concentration normalization stays valid.
-func (e *Estimator) applyStarRecovery(res *Result) {
-	w := e.starAcc - res.Weights[3] - 2*res.Weights[4] - 4*res.Weights[5]
-	if w < 0 {
-		w = 0
+// merged combines the walkers' private Results in walker-index order.
+func (e *Estimator) merged() *Result {
+	out := &Result{
+		Config:     e.cfg,
+		Weights:    make([]float64, len(e.walkers[0].alpha)),
+		TypeCounts: make([]int64, len(e.walkers[0].alpha)),
 	}
-	res.Weights[1] = w
-}
-
-func (r *Result) concentrationSnapshot() []float64 { return r.Concentration() }
-
-// start initializes the walk, applies burn-in and fills the first window.
-func (e *Estimator) start() {
-	e.w = walk.New(e.space, e.cfg.NB, e.rng)
-	e.w.Burn(e.cfg.BurnIn)
-	e.winLen = 0
-	e.ring = 0
-	e.push(e.w.Current())
-	for e.winLen < e.l {
-		e.push(e.w.Step())
+	for _, wk := range e.walkers {
+		out.Merge(wk.res)
 	}
-}
-
-// advance slides the window by one walk transition.
-func (e *Estimator) advance() { e.push(e.w.Step()) }
-
-func (e *Estimator) push(s walk.State) {
-	if e.winLen < e.l {
-		e.win[e.winLen] = s
-		e.degs[e.winLen] = e.space.StateDegree(s)
-		e.winLen++
-		return
-	}
-	e.win[e.ring] = s
-	e.degs[e.ring] = e.space.StateDegree(s)
-	e.ring = (e.ring + 1) % e.l
-}
-
-// windowAt returns the i-th window entry in walk order (0 = oldest).
-func (e *Estimator) windowAt(i int) (walk.State, int) {
-	j := (e.ring + i) % e.l
-	return e.win[j], e.degs[j]
-}
-
-// nominal maps a state degree to the NB-SRW nominal degree.
-func nominal(d int) int {
-	if d <= 1 {
-		return 1
-	}
-	return d - 1
-}
-
-// accumulate processes the current window: if it covers exactly k distinct
-// nodes, classify the induced subgraph and add its re-weighted contribution.
-func (e *Estimator) accumulate(res *Result) error {
-	k := e.cfg.K
-	e.unionNodes = e.unionNodes[:0]
-	for i := 0; i < e.l; i++ {
-		s, _ := e.windowAt(i)
-		for j := 0; j < s.Len(); j++ {
-			x := s.Node(j)
-			found := false
-			for _, y := range e.unionNodes {
-				if y == x {
-					found = true
-					break
-				}
-			}
-			if !found {
-				e.unionNodes = append(e.unionNodes, x)
-				if len(e.unionNodes) > k {
-					return nil // over-covering impossible; defensive
-				}
-			}
-		}
-	}
-	if len(e.unionNodes) != k {
-		return nil // invalid sample (Figure 3)
-	}
-	res.ValidSamples++
-
-	nodes := e.unionNodes
-	code := graphlet.CodeOf(k, func(i, j int) bool {
-		return e.client.HasEdge(nodes[i], nodes[j])
-	})
-	typ := graphlet.ClassifyCode(k, code)
-	if typ < 0 {
-		return fmt.Errorf("core: window %v classified as disconnected", nodes)
-	}
-	res.TypeCounts[typ]++
-
-	var weight float64
-	if e.cfg.CSS && e.l > 2 {
-		p := e.samplingProbability(nodes)
-		if p <= 0 {
-			return fmt.Errorf("core: zero sampling probability for type %d", typ+1)
-		}
-		weight = 1 / p
-	} else {
-		if e.alpha[typ] == 0 {
-			return fmt.Errorf("core: walk produced type %d with alpha = 0 (d=%d)", typ+1, e.cfg.D)
-		}
-		weight = 1 / (float64(e.alpha[typ]) * e.pieTilde())
-	}
-	res.Weights[typ] += weight
-	return nil
-}
-
-// pieTilde computes π̃e(X^(l)) = 2|R(d)|·πe for the current window
-// (Equation 2): deg(X_1) for l = 1, 1 for l = 2, and the product of inverse
-// degrees of the interior states for l > 2. Under NB, nominal degrees are
-// used (§4.2).
-func (e *Estimator) pieTilde() float64 {
-	switch e.l {
-	case 1:
-		// Marginal state probability d_X/2|R|; NB-SRW preserves it, so the
-		// actual degree is used even under NB.
-		_, d := e.windowAt(0)
-		return float64(d)
-	case 2:
-		return 1
-	}
-	p := 1.0
-	for i := 1; i < e.l-1; i++ {
-		_, d := e.windowAt(i)
-		p *= 1 / e.adjDeg(d)
-	}
-	return p
-}
-
-func (e *Estimator) adjDeg(d int) float64 {
-	if e.cfg.NB {
-		return float64(nominal(d))
-	}
-	return float64(d)
-}
-
-// samplingProbability computes p̃(X^(l)) = 2|R(d)|·p(X^(l)) (Definition 4,
-// Algorithm 3): the sum of π̃e over every state of M(l) corresponding to the
-// sampled subgraph. Chain enumeration runs over the k sampled nodes; interior
-// chain states need their G(d) degree, obtained from the space (O(1) for
-// d <= 2).
-func (e *Estimator) samplingProbability(nodes []int32) float64 {
-	return samplingProbabilityWith(e.client, e.space, e.cfg.K, e.cfg.D, e.cfg.NB, nodes, &e.chainNodes)
+	return out
 }
 
 // SamplingProbability computes the CSS weight p̃ = 2|R(d)|·p for the subgraph

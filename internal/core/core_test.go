@@ -289,16 +289,18 @@ func TestPaperExampleStationary(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Manually set the window to the example's three states. Node labels in
-	// the paper are 1..4, here 0..3.
-	est.start()
-	est.win[0] = stateOf2(0, 1)
-	est.win[1] = stateOf2(0, 2)
-	est.win[2] = stateOf2(2, 3)
-	est.degs[0] = est.space.StateDegree(est.win[0])
-	est.degs[1] = est.space.StateDegree(est.win[1])
-	est.degs[2] = est.space.StateDegree(est.win[2])
-	est.ring = 0
-	if got := est.pieTilde(); math.Abs(got-0.25) > 1e-12 {
+	// the paper are 1..4, here 0..3. The window lives in the walker layer.
+	wk := est.walkers[0]
+	wk.reset()
+	wk.start()
+	wk.win[0] = stateOf2(0, 1)
+	wk.win[1] = stateOf2(0, 2)
+	wk.win[2] = stateOf2(2, 3)
+	wk.degs[0] = wk.space.StateDegree(wk.win[0])
+	wk.degs[1] = wk.space.StateDegree(wk.win[1])
+	wk.degs[2] = wk.space.StateDegree(wk.win[2])
+	wk.ring = 0
+	if got := wk.pieTilde(); math.Abs(got-0.25) > 1e-12 {
 		t.Errorf("pieTilde = %f, want 0.25", got)
 	}
 }
@@ -371,19 +373,21 @@ func TestCSSMatchesTable4K3(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est.start()
+	wk := est.walkers[0]
+	wk.reset()
+	wk.start()
 
 	// Triangle {0,1,2}: degrees 3,2,3 -> p̃ = 2(1/3+1/2+1/3).
 	nodes := []int32{0, 1, 2}
 	want := 2 * (1.0/3 + 1.0/2 + 1.0/3)
-	if got := est.samplingProbability(nodes); math.Abs(got-want) > 1e-12 {
+	if got := wk.samplingProbability(nodes); math.Abs(got-want) > 1e-12 {
 		t.Errorf("triangle p̃ = %f, want %f", got, want)
 	}
 	// Wedge {1,0,3}: center 0 (degree 3): only Hamilton path is 1-0-3, both
 	// directions -> p̃ = 2·(1/d₀) = 2/3.
 	nodes = []int32{0, 1, 3}
 	want = 2.0 / 3
-	if got := est.samplingProbability(nodes); math.Abs(got-want) > 1e-12 {
+	if got := wk.samplingProbability(nodes); math.Abs(got-want) > 1e-12 {
 		t.Errorf("wedge p̃ = %f, want %f", got, want)
 	}
 }

@@ -10,30 +10,19 @@ import (
 )
 
 // MultiEstimator estimates the concentrations of several graphlet sizes
-// simultaneously from a single random walk on G(d) — the joint-estimation
-// idea behind MSS [36], generalized to this framework: a window of
-// l_k = k-d+1 consecutive states is maintained per target size k, and each
-// size re-weights its own samples exactly as the single-size estimator does.
-// One walk's API cost therefore buys every size's estimate at once.
+// simultaneously from random walks on G(d) — the joint-estimation idea
+// behind MSS [36], generalized to this framework: a window of l_k = k-d+1
+// consecutive states is maintained per target size k, and each size
+// re-weights its own samples exactly as the single-size estimator does. One
+// walk's API cost therefore buys every size's estimate at once.
+//
+// Like Estimator, it is an ensemble: MultiConfig.Walkers independent
+// multi-size walkers split the window budget and their per-size Results
+// merge by summation in walker-index order.
 type MultiEstimator struct {
-	client access.Client
-	space  walk.Space
-	rng    *rand.Rand
-	d      int
-	css    bool
-	nb     bool
-
-	sizes []int
-	maxL  int
-
-	// Ring of the last maxL states and their degrees.
-	win    []walk.State
-	degs   []int
-	filled int
-	ring   int
-
-	scratchNodes []int32
-	scratchChain []int32
+	cfg     MultiConfig
+	client  access.Client
+	walkers []*multiWalker
 }
 
 // MultiConfig configures a MultiEstimator.
@@ -45,6 +34,9 @@ type MultiConfig struct {
 	// CSS and NB enable the §4 optimizations for every size (CSS applies
 	// where l > 2).
 	CSS, NB bool
+	// Walkers is the number of independent concurrent walks (0 and 1 both
+	// mean one); semantics match Config.Walkers.
+	Walkers int
 	Seed    int64
 }
 
@@ -64,6 +56,9 @@ func (c MultiConfig) Validate() error {
 	if c.D < 1 {
 		return fmt.Errorf("core: D=%d out of range", c.D)
 	}
+	if c.Walkers < 0 {
+		return fmt.Errorf("core: negative Walkers %d", c.Walkers)
+	}
 	return nil
 }
 
@@ -72,24 +67,11 @@ func NewMultiEstimator(client access.Client, cfg MultiConfig) (*MultiEstimator, 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	maxL := 0
-	for _, k := range cfg.Sizes {
-		if l := k - cfg.D + 1; l > maxL {
-			maxL = l
-		}
+	ws := make([]*multiWalker, walkerCount(cfg.Walkers))
+	for i := range ws {
+		ws[i] = newMultiWalker(client, cfg, walkerSeed(cfg.Seed, i))
 	}
-	return &MultiEstimator{
-		client: client,
-		space:  walk.NewSpace(client, cfg.D),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		d:      cfg.D,
-		css:    cfg.CSS,
-		nb:     cfg.NB,
-		sizes:  append([]int(nil), cfg.Sizes...),
-		maxL:   maxL,
-		win:    make([]walk.State, maxL),
-		degs:   make([]int, maxL),
-	}, nil
+	return &MultiEstimator{cfg: cfg, client: client, walkers: ws}, nil
 }
 
 // MultiResult holds one Result per requested size, keyed by k.
@@ -98,39 +80,150 @@ type MultiResult struct {
 	Results map[int]*Result
 }
 
-// Run advances the walk for n steps and accumulates every size's estimate.
+// Merge folds o into m: Steps sum, and each size's Result merges
+// (Result.Merge). Both MultiResults must come from the same MultiConfig.
+func (m *MultiResult) Merge(o *MultiResult) {
+	m.Steps += o.Steps
+	for k, r := range o.Results {
+		m.Results[k].Merge(r)
+	}
+}
+
+// Run advances the walkers for n windows in total and returns the merged
+// per-size estimates.
 func (m *MultiEstimator) Run(n int) (*MultiResult, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: non-positive sample budget %d", n)
 	}
-	out := &MultiResult{Steps: n, Results: map[int]*Result{}}
-	for _, k := range m.sizes {
-		out.Results[k] = &Result{
-			Config:     Config{K: k, D: m.d, CSS: m.css, NB: m.nb},
-			Steps:      n,
-			Weights:    make([]float64, graphlet.Count(k)),
-			TypeCounts: make([]int64, graphlet.Count(k)),
-		}
+	nw := len(m.walkers)
+	for _, wk := range m.walkers {
+		wk.reset()
 	}
-	w := walk.New(m.space, m.nb, m.rng)
-	m.filled = 0
-	m.ring = 0
-	m.push(w.Current())
-	for m.filled < m.maxL {
-		m.push(w.Step())
+	// Sequential seed draws: see walker.ensureSeeded.
+	for _, wk := range m.walkers {
+		wk.ensureSeeded()
 	}
-	for t := 0; t < n; t++ {
-		for _, k := range m.sizes {
-			if err := m.accumulateSize(k, out.Results[k]); err != nil {
-				return nil, err
-			}
-		}
-		m.push(w.Step())
+	if err := runStage(nw, func(i int) error {
+		return m.walkers[i].run(walkerQuota(n, nw, i))
+	}); err != nil {
+		return nil, err
+	}
+	out := m.walkers[0].emptyResult()
+	for _, wk := range m.walkers {
+		out.Merge(wk.res)
 	}
 	return out, nil
 }
 
-func (m *MultiEstimator) push(s walk.State) {
+// multiWalker is the per-goroutine layer of the multi-size engine: one walk
+// whose ring of the last max(l_k) states serves every target size's window.
+type multiWalker struct {
+	client access.Client
+	space  walk.Space
+	rng    *rand.Rand
+	w      *walk.Walk
+	d      int
+	css    bool
+	nb     bool
+
+	sizes []int
+	maxL  int
+
+	// Ring of the last maxL states and their degrees.
+	win    []walk.State
+	degs   []int
+	filled int
+	ring   int
+
+	scratchNodes []int32
+	scratchChain []int32
+
+	res    *MultiResult
+	seeded bool
+	primed bool
+}
+
+func newMultiWalker(client access.Client, cfg MultiConfig, seed int64) *multiWalker {
+	maxL := 0
+	for _, k := range cfg.Sizes {
+		if l := k - cfg.D + 1; l > maxL {
+			maxL = l
+		}
+	}
+	return &multiWalker{
+		client: client,
+		space:  walk.NewSpace(client, cfg.D),
+		rng:    rand.New(rand.NewSource(seed)),
+		d:      cfg.D,
+		css:    cfg.CSS,
+		nb:     cfg.NB,
+		sizes:  append([]int(nil), cfg.Sizes...),
+		maxL:   maxL,
+		win:    make([]walk.State, maxL),
+		degs:   make([]int, maxL),
+	}
+}
+
+// emptyResult allocates a zeroed MultiResult shaped for the walker's sizes.
+func (m *multiWalker) emptyResult() *MultiResult {
+	out := &MultiResult{Results: map[int]*Result{}}
+	for _, k := range m.sizes {
+		out.Results[k] = &Result{
+			Config:     Config{K: k, D: m.d, CSS: m.css, NB: m.nb},
+			Weights:    make([]float64, graphlet.Count(k)),
+			TypeCounts: make([]int64, graphlet.Count(k)),
+		}
+	}
+	return out
+}
+
+func (m *multiWalker) reset() {
+	m.res = m.emptyResult()
+	m.seeded = false
+	m.primed = false
+}
+
+// ensureSeeded mirrors walker.ensureSeeded for the multi-size engine: only
+// the start-state draw needs walker-index ordering.
+func (m *multiWalker) ensureSeeded() {
+	if !m.seeded {
+		m.w = walk.New(m.space, m.nb, m.rng)
+		m.seeded = true
+	}
+}
+
+// start primes the walker: start state drawn, first window filled.
+func (m *multiWalker) start() {
+	m.ensureSeeded()
+	if m.primed {
+		return
+	}
+	m.filled = 0
+	m.ring = 0
+	m.push(m.w.Current())
+	for m.filled < m.maxL {
+		m.push(m.w.Step())
+	}
+	m.primed = true
+}
+
+// run processes `count` windows into the walker's private MultiResult.
+func (m *multiWalker) run(count int) error {
+	m.start()
+	for t := 0; t < count; t++ {
+		for _, k := range m.sizes {
+			if err := m.accumulateSize(k, m.res.Results[k]); err != nil {
+				return err
+			}
+			m.res.Results[k].Steps++
+		}
+		m.push(m.w.Step())
+		m.res.Steps++
+	}
+	return nil
+}
+
+func (m *multiWalker) push(s walk.State) {
 	if m.filled < m.maxL {
 		m.win[m.filled] = s
 		m.degs[m.filled] = m.space.StateDegree(s)
@@ -142,9 +235,9 @@ func (m *MultiEstimator) push(s walk.State) {
 	m.ring = (m.ring + 1) % m.maxL
 }
 
-// windowAt returns the i-th most recent state (i = 0 oldest within a window
-// of length l ending at the newest state).
-func (m *MultiEstimator) windowFor(l int) func(i int) (walk.State, int) {
+// windowFor returns an accessor for the i-th state (0 = oldest) of the
+// length-l window ending at the newest state.
+func (m *multiWalker) windowFor(l int) func(i int) (walk.State, int) {
 	offset := m.maxL - l
 	return func(i int) (walk.State, int) {
 		j := (m.ring + offset + i) % m.maxL
@@ -152,7 +245,7 @@ func (m *MultiEstimator) windowFor(l int) func(i int) (walk.State, int) {
 	}
 }
 
-func (m *MultiEstimator) accumulateSize(k int, res *Result) error {
+func (m *multiWalker) accumulateSize(k int, res *Result) error {
 	l := k - m.d + 1
 	at := m.windowFor(l)
 	nodes := m.scratchNodes[:0]

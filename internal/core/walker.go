@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/graphlet"
+	"repro/internal/walk"
+)
+
+// walker is the per-goroutine layer of the estimation engine: exactly one
+// random walk on G(d), its sliding window of the last l states, and a private
+// Result accumulator. A walker owns its walk.Space instance (spaceD keeps a
+// mutable neighbor cache and scratch buffers) and its rand.Rand, so it never
+// shares mutable state with sibling walkers — the only shared object is the
+// access.Client, which is required to be safe for concurrent use.
+//
+// The ensemble layer (ensemble.go) spawns Config.Walkers of these and merges
+// their Results in walker-index order; see Result.Merge for why summation is
+// the exact combination rule.
+type walker struct {
+	cfg    Config
+	client access.Client
+	space  walk.Space
+	w      *walk.Walk
+	rng    *rand.Rand
+
+	l     int
+	alpha []int64 // α per type (paper order)
+
+	// Sliding window of the last l states with their G(d) degrees.
+	win    []walk.State
+	degs   []int
+	winLen int
+	ring   int // index of the oldest window entry
+
+	// Scratch buffers.
+	unionNodes []int32
+	chainNodes []int32
+
+	// res is the walker-private accumulator; merged by the ensemble.
+	res    *Result
+	seeded bool // start state drawn
+	primed bool // burn-in done, window filled
+}
+
+// newWalker builds one walker with its own space and RNG. seed is the
+// walker-specific seed derived by the ensemble (walkerSeed).
+func newWalker(client access.Client, cfg Config, seed int64) *walker {
+	l := cfg.K - cfg.D + 1
+	cat := graphlet.Catalog(cfg.K)
+	alpha := make([]int64, len(cat))
+	for i := range cat {
+		alpha[i] = cat[i].Alpha[cfg.D]
+	}
+	return &walker{
+		cfg:    cfg,
+		client: client,
+		space:  walk.NewSpace(client, cfg.D),
+		rng:    rand.New(rand.NewSource(seed)),
+		l:      l,
+		alpha:  alpha,
+		win:    make([]walk.State, l),
+		degs:   make([]int, l),
+	}
+}
+
+// reset prepares the walker for a fresh run: a new private Result and a
+// restarted walk (the RNG stream continues, like repeated Run calls always
+// did).
+func (wk *walker) reset() {
+	wk.res = &Result{
+		Config:     wk.cfg,
+		Weights:    make([]float64, len(wk.alpha)),
+		TypeCounts: make([]int64, len(wk.alpha)),
+	}
+	wk.seeded = false
+	wk.primed = false
+}
+
+// ensureSeeded draws the walk's start state exactly once per reset. This is
+// the only client call whose order must be walker-index-deterministic
+// (clients like the HTTP crawler draw seeds from shared server-side state),
+// so the ensemble calls it sequentially before the concurrent stages;
+// burn-in and window fill use only walker-private state and stay in the
+// concurrent phase.
+func (wk *walker) ensureSeeded() {
+	if !wk.seeded {
+		wk.w = walk.New(wk.space, wk.cfg.NB, wk.rng)
+		wk.seeded = true
+	}
+}
+
+// run processes `count` windows into the walker's private Result.
+func (wk *walker) run(count int) error {
+	wk.start()
+	for j := 0; j < count; j++ {
+		if err := wk.accumulate(wk.res); err != nil {
+			return err
+		}
+		if wk.cfg.RecoverStars {
+			wk.accumulateStars()
+			wk.res.applyStarRecovery()
+		}
+		wk.advance()
+		wk.res.Steps++
+	}
+	return nil
+}
+
+// start brings the walker to a runnable state: start state drawn (if the
+// ensemble has not already done so sequentially), burn-in applied, first
+// window filled.
+func (wk *walker) start() {
+	wk.ensureSeeded()
+	if wk.primed {
+		return
+	}
+	wk.w.Burn(wk.cfg.BurnIn)
+	wk.winLen = 0
+	wk.ring = 0
+	wk.push(wk.w.Current())
+	for wk.winLen < wk.l {
+		wk.push(wk.w.Step())
+	}
+	wk.primed = true
+}
+
+// advance slides the window by one walk transition.
+func (wk *walker) advance() { wk.push(wk.w.Step()) }
+
+func (wk *walker) push(s walk.State) {
+	if wk.winLen < wk.l {
+		wk.win[wk.winLen] = s
+		wk.degs[wk.winLen] = wk.space.StateDegree(s)
+		wk.winLen++
+		return
+	}
+	wk.win[wk.ring] = s
+	wk.degs[wk.ring] = wk.space.StateDegree(s)
+	wk.ring = (wk.ring + 1) % wk.l
+}
+
+// windowAt returns the i-th window entry in walk order (0 = oldest).
+func (wk *walker) windowAt(i int) (walk.State, int) {
+	j := (wk.ring + i) % wk.l
+	return wk.win[j], wk.degs[j]
+}
+
+// accumulateStars adds the non-induced-star functional of the newest visited
+// node (stationary probability ∝ degree): C(d_v, 3)/d_v.
+func (wk *walker) accumulateStars() {
+	_, deg := wk.windowAt(wk.l - 1)
+	d := float64(deg) // d = 1 walk: the state degree is the node degree
+	// C(d,3)/d simplifies to (d-1)(d-2)/6.
+	wk.res.StarAcc += (d - 1) * (d - 2) / 6
+}
+
+// accumulate processes the current window: if it covers exactly k distinct
+// nodes, classify the induced subgraph and add its re-weighted contribution.
+func (wk *walker) accumulate(res *Result) error {
+	k := wk.cfg.K
+	wk.unionNodes = wk.unionNodes[:0]
+	for i := 0; i < wk.l; i++ {
+		s, _ := wk.windowAt(i)
+		for j := 0; j < s.Len(); j++ {
+			x := s.Node(j)
+			found := false
+			for _, y := range wk.unionNodes {
+				if y == x {
+					found = true
+					break
+				}
+			}
+			if !found {
+				wk.unionNodes = append(wk.unionNodes, x)
+				if len(wk.unionNodes) > k {
+					return nil // over-covering impossible; defensive
+				}
+			}
+		}
+	}
+	if len(wk.unionNodes) != k {
+		return nil // invalid sample (Figure 3)
+	}
+	res.ValidSamples++
+
+	nodes := wk.unionNodes
+	code := graphlet.CodeOf(k, func(i, j int) bool {
+		return wk.client.HasEdge(nodes[i], nodes[j])
+	})
+	typ := graphlet.ClassifyCode(k, code)
+	if typ < 0 {
+		return fmt.Errorf("core: window %v classified as disconnected", nodes)
+	}
+	res.TypeCounts[typ]++
+
+	var weight float64
+	if wk.cfg.CSS && wk.l > 2 {
+		p := wk.samplingProbability(nodes)
+		if p <= 0 {
+			return fmt.Errorf("core: zero sampling probability for type %d", typ+1)
+		}
+		weight = 1 / p
+	} else {
+		if wk.alpha[typ] == 0 {
+			return fmt.Errorf("core: walk produced type %d with alpha = 0 (d=%d)", typ+1, wk.cfg.D)
+		}
+		weight = 1 / (float64(wk.alpha[typ]) * wk.pieTilde())
+	}
+	res.Weights[typ] += weight
+	return nil
+}
+
+// pieTilde computes π̃e(X^(l)) = 2|R(d)|·πe for the current window
+// (Equation 2): deg(X_1) for l = 1, 1 for l = 2, and the product of inverse
+// degrees of the interior states for l > 2. Under NB, nominal degrees are
+// used (§4.2).
+func (wk *walker) pieTilde() float64 {
+	switch wk.l {
+	case 1:
+		// Marginal state probability d_X/2|R|; NB-SRW preserves it, so the
+		// actual degree is used even under NB.
+		_, d := wk.windowAt(0)
+		return float64(d)
+	case 2:
+		return 1
+	}
+	p := 1.0
+	for i := 1; i < wk.l-1; i++ {
+		_, d := wk.windowAt(i)
+		p *= 1 / wk.adjDeg(d)
+	}
+	return p
+}
+
+func (wk *walker) adjDeg(d int) float64 {
+	if wk.cfg.NB {
+		return float64(nominal(d))
+	}
+	return float64(d)
+}
+
+// nominal maps a state degree to the NB-SRW nominal degree.
+func nominal(d int) int {
+	if d <= 1 {
+		return 1
+	}
+	return d - 1
+}
+
+// samplingProbability computes p̃(X^(l)) = 2|R(d)|·p(X^(l)) (Definition 4,
+// Algorithm 3) for the walker's configuration.
+func (wk *walker) samplingProbability(nodes []int32) float64 {
+	return samplingProbabilityWith(wk.client, wk.space, wk.cfg.K, wk.cfg.D, wk.cfg.NB, nodes, &wk.chainNodes)
+}

@@ -1,6 +1,6 @@
 // Package datasets provides deterministic synthetic stand-ins for the ten
 // web-crawled networks of the paper's Table 5 (which are not available
-// offline — see DESIGN.md §3 for the substitution rationale). Each stand-in
+// offline — see README.md for the substitution rationale). Each stand-in
 // preserves the two properties the paper's conclusions hinge on: heavy-tailed
 // degrees and the dataset's qualitative clustering level (cliques rare for
 // the low-clustering graphs, common for the Facebook-like ones). Sizes are

@@ -49,8 +49,10 @@ func Fig7(w io.Writer, p Params) {
 		})
 		wedgeNRMSE := stats.NRMSEOfComponent(wedgeEst, []float64{truthTri}, 0)
 
-		// Walk: calibrate steps to the same wall time.
-		cfg := core.Config{K: 3, D: 1, CSS: true, NB: true}
+		// Walk: calibrate steps to the same wall time. The calibration probe
+		// runs with the configured walker ensemble, so parallel walkers buy a
+		// proportionally larger step budget at equal wall time.
+		cfg := p.apply(core.Config{K: 3, D: 1, CSS: true, NB: true})
 		steps := calibrateSteps(g, cfg, perTrial)
 		twoR := core.TwoR(g, 1)
 		walkEst := runCountTrials(g, cfg, steps, p.Trials, twoR, 1)
@@ -84,7 +86,7 @@ func Fig7(w io.Writer, p Params) {
 		})
 		pathNRMSE := stats.NRMSEOfComponent(pathEst, []float64{truthK4}, 0)
 
-		cfg := core.Config{K: 4, D: 2, CSS: true}
+		cfg := p.apply(core.Config{K: 4, D: 2, CSS: true})
 		steps := calibrateSteps(g, cfg, perTrial)
 		twoR := core.TwoR(g, 2)
 		walkEst := runCountTrials(g, cfg, steps, p.Trials, twoR, 5)
@@ -136,7 +138,7 @@ func calibrateSteps(g *graph.Graph, cfg core.Config, budget time.Duration) int {
 // per-trial estimate of component idx.
 func runCountTrials(g *graph.Graph, cfg core.Config, steps, trials int, twoR float64, idx int) [][]float64 {
 	client := access.NewGraphClient(g)
-	return stats.RunTrials(trials, func(trial int) []float64 {
+	return stats.RunTrialsWorkers(trials, trialWorkers(cfg.Walkers), func(trial int) []float64 {
 		c := cfg
 		c.Seed = int64(104729*trial + 7)
 		est, err := core.NewEstimator(client, c)
@@ -162,7 +164,7 @@ func Fig8(w io.Writer, p Params) {
 	for _, d := range allDatasets() {
 		g := d.Graph()
 		truth := mustConc(d, 3)
-		cfg := core.Config{K: 3, D: 1, CSS: true, NB: true}
+		cfg := p.apply(core.Config{K: 3, D: 1, CSS: true, NB: true})
 		walkNRMSE := methodNRMSE(g, cfg, p.Steps, p.Trials, truth, 1)
 		mhrwTrials := mhrwTrials(g, p.Steps, p.Trials)
 		mhrwNRMSE := stats.NRMSEOfComponent(mhrwTrials, truth, 1)
@@ -183,8 +185,8 @@ func Fig8(w io.Writer, p Params) {
 		}
 		fmt.Fprintf(w, "\n%s\n%-10s %14s %14s\n", name, "steps", "SRW1CSSNB", "Wedge-MHRW")
 		client := access.NewGraphClient(g)
-		walkPts := stats.RunTrials(p.Trials, func(trial int) []float64 {
-			cfg := core.Config{K: 3, D: 1, CSS: true, NB: true, Seed: int64(7907*trial + 3)}
+		walkPts := stats.RunTrialsWorkers(p.Trials, trialWorkers(p.Walkers), func(trial int) []float64 {
+			cfg := p.apply(core.Config{K: 3, D: 1, CSS: true, NB: true, Seed: int64(7907*trial + 3)})
 			est, err := core.NewEstimator(client, cfg)
 			if err != nil {
 				panic(err)
@@ -249,7 +251,7 @@ func Table7(w io.Writer, p Params) {
 		g := d.Graph()
 		for mi, m := range methods {
 			key := fmt.Sprintf("%s-%d", name, mi)
-			est[key] = methodTrials(g, m, p.Steps, trials)
+			est[key] = methodTrials(g, p.apply(m), p.Steps, trials)
 		}
 	}
 	exactConc := map[string][]float64{}

@@ -6,13 +6,14 @@
 // Absolute values differ from the paper (different graphs, scaled sizes, Go
 // instead of C++), but each driver reproduces the experiment's *shape*: which
 // method wins, by roughly what factor, and where crossovers happen.
-// EXPERIMENTS.md records paper-vs-measured for each.
+// README.md indexes the experiments and how to run them.
 package experiments
 
 import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 
 	"repro/internal/access"
 	"repro/internal/core"
@@ -25,6 +26,32 @@ import (
 type Params struct {
 	Steps  int // random-walk steps per run (paper: 20K)
 	Trials int // independent simulations (paper: 1000, 100 for SRW4)
+	// Walkers is the per-run walker ensemble size (core.Config.Walkers):
+	// each trial's step budget is split across this many concurrent walks.
+	// 0 keeps the single-walker behavior. Trials themselves always run on
+	// the stats.RunTrials worker pool.
+	Walkers int
+}
+
+// apply stamps the ensemble size onto a method configuration.
+func (p Params) apply(cfg core.Config) core.Config {
+	cfg.Walkers = p.Walkers
+	return cfg
+}
+
+// trialWorkers sizes the trial pool so trials × walkers stays at the
+// machine's parallelism: each trial spawns cfg.Walkers goroutines, and
+// oversubscribing would make a trial's wall time incomparable to the same
+// config run alone (which Fig7's time calibration depends on).
+func trialWorkers(walkers int) int {
+	if walkers <= 1 {
+		return 0 // RunTrials default: one worker per CPU
+	}
+	w := runtime.GOMAXPROCS(0) / walkers
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 func (p Params) withDefaults() Params {
@@ -44,7 +71,7 @@ func Quick() Params { return Params{Steps: 2000, Trials: 8} }
 // per-trial concentration vectors.
 func methodTrials(g *graph.Graph, cfg core.Config, steps, trials int) [][]float64 {
 	client := access.NewGraphClient(g)
-	return stats.RunTrials(trials, func(trial int) []float64 {
+	return stats.RunTrialsWorkers(trials, trialWorkers(cfg.Walkers), func(trial int) []float64 {
 		c := cfg
 		c.Seed = int64(100003*trial + 17)
 		est, err := core.NewEstimator(client, c)

@@ -69,7 +69,7 @@ func fig4Block(w io.Writer, p Params, ds []datasets.Dataset, methods []core.Conf
 				// The paper also reduces SRW4 repetitions (100 vs 1000).
 				trials = max(3, p.Trials/10)
 			}
-			nrmse := methodNRMSE(g, m, p.Steps, trials, truth, idx)
+			nrmse := methodNRMSE(g, p.apply(m), p.Steps, trials, truth, idx)
 			fmt.Fprintf(w, "%12s", fmtF(nrmse))
 		}
 		fmt.Fprintln(w)
@@ -109,7 +109,7 @@ func Fig5(w io.Writer, p Params) {
 	methods := []core.Config{{K: 4, D: 3}, {K: 4, D: 2}, {K: 4, D: 2, CSS: true}}
 	results := make([][]float64, len(methods))
 	for mi, m := range methods {
-		tr := methodTrials(g, m, p.Steps, p.Trials)
+		tr := methodTrials(g, p.apply(m), p.Steps, p.Trials)
 		results[mi] = stats.NRMSEPerType(tr, truth)
 	}
 	for i, gl := range graphlet.Catalog(4) {
@@ -167,8 +167,8 @@ func fig6Block(w io.Writer, p Params, name string, methods []core.Config, k, idx
 		if m.D >= 4 {
 			trials = max(3, p.Trials/10)
 		}
-		points := stats.RunTrials(trials, func(trial int) []float64 {
-			cfg := m
+		points := stats.RunTrialsWorkers(trials, trialWorkers(p.Walkers), func(trial int) []float64 {
+			cfg := p.apply(m)
 			cfg.Seed = int64(7919*trial + 31*mi + 1)
 			est, err := core.NewEstimator(client, cfg)
 			if err != nil {

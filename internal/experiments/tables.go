@@ -220,7 +220,7 @@ func closedFormP4(g *graph.Graph, nodes [4]int32, typ int) float64 {
 // Table5 reproduces the paper's Table 5: the dataset inventory with exact
 // clique concentrations c³₂, c⁴₆ and (for the small datasets) c⁵₂₁.
 func Table5(w io.Writer) {
-	header(w, "Table 5: datasets (synthetic stand-ins; see DESIGN.md)")
+	header(w, "Table 5: datasets (synthetic stand-ins; see README.md)")
 	fmt.Fprintf(w, "%-12s %-14s %8s %9s %10s %10s %10s\n",
 		"stand-in", "paper LCC", "|V|", "|E|", "c32(e-2)", "c46(e-3)", "c521(e-5)")
 	for _, d := range allDatasets() {

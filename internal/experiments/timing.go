@@ -35,7 +35,7 @@ func Table6(w io.Writer, p Params) {
 		client := access.NewGraphClient(g)
 		fmt.Fprintf(w, "%-12s", d.Name)
 		for _, m := range methods {
-			cfg := m
+			cfg := p.apply(m)
 			cfg.Seed = 12345
 			est, err := core.NewEstimator(client, cfg)
 			if err != nil {

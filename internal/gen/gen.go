@@ -1,5 +1,5 @@
 // Package gen provides deterministic synthetic graph generators. They stand
-// in for the paper's web-crawled datasets (see DESIGN.md §3): Barabási–Albert
+// in for the paper's web-crawled datasets (see README.md): Barabási–Albert
 // and Holme–Kim produce the heavy-tailed degree distributions and tunable
 // clustering that drive the paper's accuracy results; Erdős–Rényi and
 // Watts–Strogatz cover the low- and high-clustering extremes; the

@@ -57,11 +57,21 @@ func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 // trial index) and returns an estimate vector.
 type TrialFunc func(trial int) []float64
 
-// RunTrials executes n independent trials in parallel and returns the
-// per-trial estimate vectors, ordered by trial index.
+// RunTrials executes n independent trials on a worker pool (one worker per
+// CPU) and returns the per-trial estimate vectors, ordered by trial index.
 func RunTrials(n int, fn TrialFunc) [][]float64 {
+	return RunTrialsWorkers(n, 0, fn)
+}
+
+// RunTrialsWorkers is RunTrials with an explicit pool size (<= 0 means
+// GOMAXPROCS). Pass a reduced size when each trial is itself parallel —
+// e.g. a core.Config.Walkers ensemble — so trials × walkers stays at the
+// machine's parallelism and per-trial wall time matches a trial run alone.
+func RunTrialsWorkers(n, workers int, fn TrialFunc) [][]float64 {
 	out := make([][]float64, n)
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
