@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON file, so the repository's perf trajectory can be
+// tracked across PRs (BENCH_<pr>.json artifacts in CI):
+//
+//	go test -run '^$' -bench 'ParallelWalkers|Step' -benchtime 3x . |
+//	    go run ./cmd/benchjson -out BENCH_pr2.json
+//
+// Every benchmark line is parsed into its name, iteration count, and all
+// reported metrics (ns/op, and custom b.ReportMetric units such as ns/step
+// and steps/sec from BenchmarkParallelWalkers). Context lines (goos, goarch,
+// cpu, pkg) are captured as metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix and the
+	// trailing -GOMAXPROCS suffix, e.g. "ParallelWalkers/walkers=4".
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the raw name (0 if absent).
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the file layout of BENCH_*.json.
+type Report struct {
+	Meta       map[string]string `json:"meta,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "", "bench output file (default: stdin)")
+		out = flag.String("out", "", "JSON output file (default: stdout)")
+	)
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	report, err := Parse(src)
+	if err != nil {
+		fail(err)
+	}
+	if len(report.Benchmarks) == 0 {
+		fail(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// Parse reads `go test -bench` output and extracts all benchmark results.
+func Parse(r io.Reader) (*Report, error) {
+	report := &Report{Meta: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				report.Meta[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseLine(line)
+		if ok {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	return report, sc.Err()
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName/sub-8   100   12.3 ns/op   4.5 ns/step   2.1e+07 steps/sec
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 0
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

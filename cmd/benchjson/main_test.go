@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Test CPU @ 2.0GHz
+BenchmarkStepSRW1-16   	 1000000	      1234 ns/op
+BenchmarkParallelWalkers/walkers=4-16         	     100	    123456 ns/op	        45.6 ns/step	  2.19e+07 steps/sec
+ok  	repro	1.234s
+`
+	report, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Meta["goos"] != "linux" || report.Meta["cpu"] != "Test CPU @ 2.0GHz" {
+		t.Errorf("meta = %v", report.Meta)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(report.Benchmarks))
+	}
+	b0 := report.Benchmarks[0]
+	if b0.Name != "StepSRW1" || b0.Procs != 16 || b0.Iterations != 1000000 || b0.Metrics["ns/op"] != 1234 {
+		t.Errorf("b0 = %+v", b0)
+	}
+	b1 := report.Benchmarks[1]
+	if b1.Name != "ParallelWalkers/walkers=4" || b1.Metrics["ns/step"] != 45.6 || b1.Metrics["steps/sec"] != 2.19e7 {
+		t.Errorf("b1 = %+v", b1)
+	}
+}
+
+func TestParseIgnoresMalformed(t *testing.T) {
+	input := `BenchmarkBroken-8 notanumber 12 ns/op
+Benchmark	short
+PASS
+`
+	report, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from malformed input", len(report.Benchmarks))
+	}
+}

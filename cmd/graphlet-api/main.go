@@ -3,7 +3,7 @@
 // real network boundary:
 //
 //	graphlet-api -dataset facebook -addr :8080
-//	graphlet-api -graph g.txt -addr :8080
+//	graphlet-api -graph g.txt -addr :8080 -qps 50   # politeness-limited API
 //
 // and, in a second process, crawls it with a parallel walker ensemble that
 // shares one memoizing neighbor cache (no neighbor list is fetched twice):
@@ -30,6 +30,8 @@ func main() {
 		dataset = flag.String("dataset", "", "stand-in dataset name (serve mode)")
 		addr    = flag.String("addr", "127.0.0.1:8080", "listen address (serve mode)")
 		seed    = flag.Int64("seed", 1, "seed: /v1/nodes/random (serve) or the walk RNG (crawl)")
+		qps     = flag.Float64("qps", 0, "serve: politeness rate limit in requests/sec (0 = unlimited)")
+		burst   = flag.Int("burst", 1, "serve: rate-limit burst allowance")
 
 		crawl   = flag.String("crawl", "", "crawl mode: base URL of a running graphlet-api server")
 		k       = flag.Int("k", 4, "crawl: graphlet size (3..5)")
@@ -65,8 +67,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("serving %d nodes, %d edges on http://%s\n", g.NumNodes(), g.NumEdges(), *addr)
-	if err := http.ListenAndServe(*addr, apiserver.NewHandler(g, *seed)); err != nil {
+	handler := apiserver.RateLimit(apiserver.NewHandler(g, *seed), *qps, *burst)
+	limit := "unlimited"
+	if *qps > 0 {
+		limit = fmt.Sprintf("%.1f qps (burst %d)", *qps, *burst)
+	}
+	fmt.Printf("serving %d nodes, %d edges on http://%s, rate limit %s\n",
+		g.NumNodes(), g.NumEdges(), *addr, limit)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fail(err)
 	}
 }

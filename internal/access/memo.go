@@ -1,6 +1,7 @@
 package access
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
@@ -70,7 +71,11 @@ func (c *Memo) Stats() MemoStats {
 func (c *Memo) shard(v int32) *memoShard { return &c.shards[uint32(v)%memoShards] }
 
 // neighbors resolves v's neighbor list, fetching it from the inner client at
-// most once across all goroutines.
+// most once across all goroutines. A panicking inner fetch (crawl clients
+// report transport failures that way) must not poison the cache: the failed
+// entry is dropped so a later caller retries, and goroutines that were
+// coalesced onto the failed fetch panic too instead of mistaking the nil
+// slice for a degree-0 node.
 func (c *Memo) neighbors(v int32) []int32 {
 	c.lookups.Add(1)
 	sh := c.shard(v)
@@ -82,10 +87,22 @@ func (c *Memo) neighbors(v int32) []int32 {
 	}
 	sh.mu.Unlock()
 	e.once.Do(func() {
+		defer func() {
+			if !e.done.Load() { // fetch panicked: un-cache the poisoned entry
+				sh.mu.Lock()
+				if sh.m[v] == e {
+					delete(sh.m, v)
+				}
+				sh.mu.Unlock()
+			}
+		}()
 		c.fetches.Add(1)
 		e.ns = c.inner.Neighbors(v)
 		e.done.Store(true)
 	})
+	if !e.done.Load() {
+		panic(fmt.Sprintf("access: memoized fetch of node %d failed in another goroutine", v))
+	}
 	return e.ns
 }
 

@@ -94,3 +94,42 @@ func TestMemoHasEdgeUsesCachedEndpoint(t *testing.T) {
 		t.Errorf("HasEdge on uncached pair issued %d fetches, want 1", got-before)
 	}
 }
+
+// flakyClient panics on the first neighbor fetch, then recovers.
+type flakyClient struct {
+	Client
+	failed bool
+}
+
+func (c *flakyClient) Neighbors(v int32) []int32 {
+	if !c.failed {
+		c.failed = true
+		panic("transport down")
+	}
+	return c.Client.Neighbors(v)
+}
+
+// A panicking inner fetch must not poison the memo cache: the panic
+// propagates to the caller, and a retry fetches fresh instead of silently
+// returning a nil neighbor list.
+func TestMemoFetchPanicNotCached(t *testing.T) {
+	g := gen.Complete(4)
+	m := NewMemo(&flakyClient{Client: NewGraphClient(g)})
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("first fetch should have panicked")
+			}
+		}()
+		m.Neighbors(0)
+	}()
+
+	ns := m.Neighbors(0) // retry must reach the (now healthy) inner client
+	if len(ns) != 3 {
+		t.Fatalf("post-panic retry returned %v, want 3 neighbors", ns)
+	}
+	if st := m.Stats(); st.InnerFetches != 2 {
+		t.Errorf("inner fetches = %d, want 2 (failed + retry)", st.InnerFetches)
+	}
+}

@@ -36,9 +36,12 @@ type Client struct {
 }
 
 // fetchCall is an in-flight neighbor fetch other goroutines can wait on.
+// ok records whether the fetch succeeded; waiters must not mistake a failed
+// fetch's nil slice for a degree-0 node.
 type fetchCall struct {
 	wg sync.WaitGroup
 	ns []int32
+	ok bool
 }
 
 var _ access.Client = (*Client)(nil)
@@ -75,6 +78,11 @@ func (c *Client) fetch(v int32) []int32 {
 	if call, ok := c.inflight[v]; ok {
 		c.mu.Unlock()
 		call.wg.Wait()
+		if !call.ok {
+			// Propagate the failure with this client's panic convention; the
+			// inflight entry is already cleared, so a retry starts fresh.
+			panic(fmt.Sprintf("apiserver client: fetch of node %d failed in another goroutine", v))
+		}
 		return call.ns
 	}
 	call := &fetchCall{}
@@ -91,6 +99,7 @@ func (c *Client) fetch(v int32) []int32 {
 		if ok {
 			c.cache[v] = call.ns
 		}
+		call.ok = ok
 		delete(c.inflight, v)
 		c.mu.Unlock()
 		call.wg.Done()

@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/access"
@@ -228,6 +229,19 @@ func (e *Estimator) Run(n int) (*Result, error) {
 // Checkpoints are ensemble-wide barriers; with fn == nil the walkers run
 // barrier-free end to end.
 func (e *Estimator) RunCheckpoints(n, every int, fn func(step int, conc []float64)) (*Result, error) {
+	return e.RunCheckpointsCtx(context.Background(), n, every, fn)
+}
+
+// RunCheckpointsCtx is RunCheckpoints with cooperative cancellation: the
+// context is checked at every checkpoint barrier (before the first stage and
+// after each snapshot), and a cancelled run stops there instead of consuming
+// the rest of its window budget. On cancellation it returns the merged
+// Result accumulated so far alongside ctx.Err(), so callers can report
+// partial progress. Cancellation granularity is the barrier spacing: with
+// fn == nil and every <= 0 the whole budget is one stage and a mid-stage
+// cancel is only observed at the end — long-running callers that need
+// responsive cancellation should pass a positive `every`.
+func (e *Estimator) RunCheckpointsCtx(ctx context.Context, n, every int, fn func(step int, conc []float64)) (*Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: non-positive sample budget %d", n)
 	}
@@ -240,7 +254,10 @@ func (e *Estimator) RunCheckpoints(n, every int, fn func(step int, conc []float6
 		wk.ensureSeeded()
 	}
 	prev := 0
-	for _, target := range checkpointTargets(n, every, fn != nil) {
+	for _, target := range checkpointTargets(n, every, fn != nil || ctx.Done() != nil) {
+		if err := ctx.Err(); err != nil {
+			return e.merged(), err
+		}
 		lo, hi := prev, target
 		if err := runStage(nw, func(i int) error {
 			return e.walkers[i].run(walkerQuota(hi, nw, i) - walkerQuota(lo, nw, i))

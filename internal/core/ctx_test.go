@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/gen"
+)
+
+// A cancelled context stops a checkpointed run at the next barrier: the
+// partial Result is returned with ctx.Err(), and fewer windows than the
+// budget were processed.
+func TestRunCheckpointsCtxCancellation(t *testing.T) {
+	g := gen.HolmeKim(300, 3, 0.5, 42)
+	client := access.NewGraphClient(g)
+	est, err := NewEstimator(client, Config{K: 4, D: 2, CSS: true, Seed: 9, Walkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const budget = 100000
+	var snapshots int
+	res, err := est.RunCheckpointsCtx(ctx, budget, 1000, func(step int, conc []float64) {
+		snapshots++
+		if step >= 2000 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned no partial result")
+	}
+	if res.Steps == 0 || res.Steps >= budget {
+		t.Fatalf("partial Steps = %d, want in (0, %d)", res.Steps, budget)
+	}
+	if snapshots == 0 {
+		t.Fatal("no snapshots before cancellation")
+	}
+}
+
+// An already-cancelled context stops the run before any window is processed,
+// even with no snapshot callback.
+func TestRunCheckpointsCtxPreCancelled(t *testing.T) {
+	g := gen.HolmeKim(300, 3, 0.5, 42)
+	est, err := NewEstimator(access.NewGraphClient(g), Config{K: 3, D: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := est.RunCheckpointsCtx(ctx, 5000, 0, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Steps != 0 {
+		t.Fatalf("pre-cancelled run processed %v steps", res)
+	}
+}
+
+// A background context keeps RunCheckpointsCtx byte-identical to
+// RunCheckpoints (no extra barriers are introduced for a non-cancellable
+// context).
+func TestRunCheckpointsCtxBackgroundEquivalence(t *testing.T) {
+	g := gen.HolmeKim(300, 3, 0.5, 42)
+	cfg := Config{K: 4, D: 2, CSS: true, Seed: 5, Walkers: 3}
+
+	est1, err := NewEstimator(access.NewGraphClient(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := est1.Run(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est2, err := NewEstimator(access.NewGraphClient(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := est2.RunCheckpointsCtx(context.Background(), 4000, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Steps != r2.Steps || r1.ValidSamples != r2.ValidSamples {
+		t.Fatalf("diverged: %+v vs %+v", r1, r2)
+	}
+	for i := range r1.Weights {
+		if r1.Weights[i] != r2.Weights[i] {
+			t.Fatalf("weight %d diverged: %v vs %v", i, r1.Weights[i], r2.Weights[i])
+		}
+	}
+}
+
+// explodingClient panics on neighbor access once its call budget is spent,
+// imitating a crawl client losing its transport mid-run.
+type explodingClient struct {
+	access.Client
+	calls atomic.Int64
+	limit int64
+}
+
+func (c *explodingClient) Neighbors(v int32) []int32 {
+	if c.calls.Add(1) > c.limit {
+		panic("transport down")
+	}
+	return c.Client.Neighbors(v)
+}
+
+func (c *explodingClient) Neighbor(v int32, i int) int32 {
+	if c.calls.Add(1) > c.limit {
+		panic("transport down")
+	}
+	return c.Client.Neighbor(v, i)
+}
+
+// A client panic inside a walker surfaces as an error for single- and
+// multi-walker ensembles alike (no walker-count-dependent crash).
+func TestWalkerPanicBecomesError(t *testing.T) {
+	g := gen.HolmeKim(300, 3, 0.5, 42)
+	for _, walkers := range []int{1, 3} {
+		client := &explodingClient{Client: access.NewGraphClient(g), limit: 50}
+		est, err := NewEstimator(client, Config{K: 3, D: 1, Seed: 2, Walkers: walkers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = est.Run(100000)
+		if err == nil || !strings.Contains(err.Error(), "transport down") {
+			t.Fatalf("walkers=%d: err = %v, want walker panic converted to error", walkers, err)
+		}
+	}
+}

@@ -52,13 +52,14 @@ func walkerQuota(total, nWalkers, i int) int {
 
 // runStage executes fn(i) for i in [0, n) — concurrently when n > 1 — and
 // returns the first error in walker-index order (deterministic even when
-// several walkers fail). A panic inside a concurrent walker (the HTTP crawl
-// client reports transport failures by panicking) is converted into that
-// walker's error instead of crashing the process from a goroutine no caller
-// can recover.
+// several walkers fail). A panic inside a walker (the HTTP crawl client
+// reports transport failures by panicking) is converted into that walker's
+// error — uniformly for single- and multi-walker stages, so a long-running
+// caller like the graphletd job manager sees a failed job either way
+// instead of a crashed process.
 func runStage(n int, fn func(i int) error) error {
 	if n == 1 {
-		return fn(0)
+		return runWalkerGuarded(0, fn)
 	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -66,12 +67,7 @@ func runStage(n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("core: walker %d: %v", i, r)
-				}
-			}()
-			errs[i] = fn(i)
+			errs[i] = runWalkerGuarded(i, fn)
 		}(i)
 	}
 	wg.Wait()
@@ -81,6 +77,16 @@ func runStage(n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// runWalkerGuarded invokes fn(i), converting a panic into an error.
+func runWalkerGuarded(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: walker %d: %v", i, r)
+		}
+	}()
+	return fn(i)
 }
 
 // checkpointTargets returns the cumulative window counts at which the

@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 
 	"repro/internal/access"
 	"repro/internal/core"
@@ -42,16 +41,10 @@ func (p Params) apply(cfg core.Config) core.Config {
 // trialWorkers sizes the trial pool so trials × walkers stays at the
 // machine's parallelism: each trial spawns cfg.Walkers goroutines, and
 // oversubscribing would make a trial's wall time incomparable to the same
-// config run alone (which Fig7's time calibration depends on).
+// config run alone (which Fig7's time calibration depends on). The sizing
+// rule is shared with the estimation service's job pool (stats.PoolWorkers).
 func trialWorkers(walkers int) int {
-	if walkers <= 1 {
-		return 0 // RunTrials default: one worker per CPU
-	}
-	w := runtime.GOMAXPROCS(0) / walkers
-	if w < 1 {
-		w = 1
-	}
-	return w
+	return stats.PoolWorkers(walkers)
 }
 
 func (p Params) withDefaults() Params {

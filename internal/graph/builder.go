@@ -87,6 +87,9 @@ func (b *Builder) Build() *Graph {
 		if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] }) {
 			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 		}
+		if d := int(hi - lo); d > g.maxDeg {
+			g.maxDeg = d
+		}
 	}
 	return g
 }
@@ -122,6 +125,15 @@ func Validate(g *Graph) error {
 	}
 	if arcs != 2*g.m {
 		return fmt.Errorf("arc count %d != 2*|E| = %d", arcs, 2*g.m)
+	}
+	maxDeg := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.Degree(int32(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg != g.MaxDegree() {
+		return fmt.Errorf("cached MaxDegree %d != scanned max degree %d", g.MaxDegree(), maxDeg)
 	}
 	return nil
 }

@@ -21,6 +21,10 @@ type Graph struct {
 	off []int64
 	adj []int32
 	m   int64 // number of undirected edges
+	// maxDeg is computed once at Build time; MaxDegree sits on estimator
+	// setup paths (walk-space sizing, ESU scratch allocation) and must not
+	// rescan all nodes per call.
+	maxDeg int
 }
 
 // NumNodes returns the number of nodes.
@@ -114,15 +118,8 @@ func (g *Graph) Edges(fn func(u, v int32) bool) {
 }
 
 // MaxDegree returns the maximum degree in the graph (0 for an empty graph).
-func (g *Graph) MaxDegree() int {
-	max := 0
-	for v := 0; v < g.NumNodes(); v++ {
-		if d := g.Degree(int32(v)); d > max {
-			max = d
-		}
-	}
-	return max
-}
+// The value is cached at Build time, so the call is O(1).
+func (g *Graph) MaxDegree() int { return g.maxDeg }
 
 // String summarizes the graph.
 func (g *Graph) String() string {

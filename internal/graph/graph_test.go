@@ -282,4 +282,28 @@ func TestMaxDegreeAndHistogram(t *testing.T) {
 	if h[1] != 4 || h[4] != 1 {
 		t.Errorf("histogram = %v", h)
 	}
+	// Empty graph and isolated nodes: cached value stays consistent.
+	if g := NewBuilder(0).Build(); g.MaxDegree() != 0 {
+		t.Errorf("empty graph MaxDegree = %d", g.MaxDegree())
+	}
+	if g := NewBuilder(3).Build(); g.MaxDegree() != 0 {
+		t.Errorf("edgeless graph MaxDegree = %d", g.MaxDegree())
+	}
+	// The cache survives deduplication and LCC extraction (both rebuild
+	// through Builder.Build; Validate cross-checks cached vs scanned).
+	b := NewBuilder(0)
+	for _, e := range [][2]int32{{0, 1}, {1, 0}, {1, 2}, {2, 3}, {1, 3}, {5, 6}} {
+		b.AddEdge(e[0], e[1])
+	}
+	dup := b.Build()
+	if err := Validate(dup); err != nil {
+		t.Fatal(err)
+	}
+	lcc, _ := LargestComponent(dup)
+	if err := Validate(lcc); err != nil {
+		t.Fatal(err)
+	}
+	if lcc.MaxDegree() != 3 {
+		t.Errorf("LCC MaxDegree = %d, want 3", lcc.MaxDegree())
+	}
 }

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"container/list"
+
+	"repro/internal/core"
+)
+
+// resultCache is an LRU cache of completed estimation results keyed by the
+// full Spec. Caching whole results is sound because the engine is
+// deterministic: equal Config and Seed produce byte-identical merged
+// Results at any GOMAXPROCS, so a cached entry is indistinguishable from a
+// re-run. Partial (cancelled/failed) results are never cached.
+//
+// The cache is not internally locked; the Manager serializes access under
+// its own mutex, which also keeps cache lookups atomic with the in-flight
+// coalescing map (a spec must never be both cached and in flight).
+type resultCache struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[Spec]*list.Element
+}
+
+type cacheEntry struct {
+	spec Spec
+	res  *core.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[Spec]*list.Element),
+	}
+}
+
+// get returns the cached result for spec, refreshing its recency.
+func (c *resultCache) get(spec Spec) (*core.Result, bool) {
+	el, ok := c.items[spec]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts (or refreshes) spec's result, evicting the least recently
+// used entry when over capacity.
+func (c *resultCache) put(spec Spec, res *core.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[spec]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[spec] = c.ll.PushFront(&cacheEntry{spec: spec, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).spec)
+	}
+}
+
+func (c *resultCache) len() int { return c.ll.Len() }

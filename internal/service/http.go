@@ -1,0 +1,111 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Server is the HTTP front end of the estimation service.
+//
+// Endpoints (JSON):
+//
+//	GET    /v1/graphs            -> {"graphs":[{name,source,nodes,edges,max_degree}...]}
+//	GET    /v1/graphs/{name}     -> one GraphInfo
+//	POST   /v1/jobs              -> submit a Spec; 202 + JobView (200 when a
+//	                                cache hit answers it instantly)
+//	GET    /v1/jobs              -> all jobs in submission order
+//	GET    /v1/jobs/{id}         -> one JobView with live progress
+//	DELETE /v1/jobs/{id}         -> cancel; the walker ensemble stops at its
+//	                                next checkpoint barrier
+//	GET    /v1/stats             -> service counters (runs, cache hits, ...)
+type Server struct {
+	reg *Registry
+	mgr *Manager
+}
+
+// NewServer wires the registry and job manager into an HTTP handler.
+func NewServer(reg *Registry, mgr *Manager) *Server {
+	return &Server{reg: reg, mgr: mgr}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	switch {
+	case path == "/v1/graphs" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{"graphs": s.reg.List()})
+	case strings.HasPrefix(path, "/v1/graphs/") && r.Method == http.MethodGet:
+		name := strings.TrimPrefix(path, "/v1/graphs/")
+		info, ok := s.reg.Info(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	case path == "/v1/jobs" && r.Method == http.MethodPost:
+		s.submit(w, r)
+	case path == "/v1/jobs" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		s.job(w, r, strings.TrimPrefix(path, "/v1/jobs/"))
+	case path == "/v1/stats" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, s.mgr.Stats())
+	default:
+		writeError(w, http.StatusNotFound, "not found")
+	}
+}
+
+// submit decodes a Spec and admits it.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad spec: %v", err))
+		return
+	}
+	view, err := s.mgr.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	status := http.StatusAccepted
+	if view.State.terminal() { // cache hit: answered without queueing
+		status = http.StatusOK
+	}
+	writeJSON(w, status, view)
+}
+
+// job dispatches GET (poll) and DELETE (cancel) for one job ID.
+func (s *Server) job(w http.ResponseWriter, r *http.Request, id string) {
+	switch r.Method {
+	case http.MethodGet:
+		view, ok := s.mgr.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	case http.MethodDelete:
+		view, err := s.mgr.Cancel(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,540 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// Spec is a complete, comparable description of one estimation request. It
+// doubles as the result-cache and coalescing key: two submissions with equal
+// Specs are answered by one run, which is exact (not approximate) because
+// the engine is deterministic in (Config, Seed).
+type Spec struct {
+	Graph   string `json:"graph"`
+	K       int    `json:"k"`
+	D       int    `json:"d"`
+	CSS     bool   `json:"css"`
+	NB      bool   `json:"nb"`
+	Steps   int    `json:"steps"`
+	Walkers int    `json:"walkers"`
+	Seed    int64  `json:"seed"`
+}
+
+// config maps the spec onto the engine configuration.
+func (s Spec) config() core.Config {
+	return core.Config{
+		K: s.K, D: s.D, CSS: s.CSS, NB: s.NB,
+		Walkers: s.Walkers, Seed: s.Seed,
+	}
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Progress is a live snapshot of a running job, updated at the ensemble's
+// checkpoint barriers.
+type Progress struct {
+	Steps         int       `json:"steps"`
+	Total         int       `json:"total"`
+	Concentration []float64 `json:"concentration,omitempty"`
+}
+
+// job is the Manager-internal mutable record; all fields are guarded by
+// Manager.mu. Clients see JobView snapshots.
+type job struct {
+	id        string
+	spec      Spec
+	state     State
+	progress  Progress
+	result    *core.Result
+	errMsg    string
+	cached    bool
+	coalesced int // number of submissions answered by this run
+	created   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc
+	done      chan struct{} // closed on reaching a terminal state
+}
+
+// JobView is the immutable client-facing snapshot of a job.
+type JobView struct {
+	ID       string     `json:"id"`
+	Spec     Spec       `json:"spec"`
+	State    State      `json:"state"`
+	Progress Progress   `json:"progress"`
+	Result   *JobResult `json:"result,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	// Cached marks a job answered from the result cache without a run.
+	Cached bool `json:"cached"`
+	// Coalesced counts submissions sharing this run (1 = no sharing).
+	Coalesced int `json:"coalesced"`
+}
+
+// JobResult renders a completed estimation.
+type JobResult struct {
+	Method        string    `json:"method"`
+	Steps         int       `json:"steps"`
+	ValidSamples  int       `json:"valid_samples"`
+	Concentration []float64 `json:"concentration"`
+	Weights       []float64 `json:"weights"`
+}
+
+// Stats aggregates service counters for observability and tests.
+type Stats struct {
+	Jobs        int `json:"jobs"`
+	Runs        int `json:"runs"`         // estimations actually executed
+	CacheHits   int `json:"cache_hits"`   // submissions answered from the LRU
+	CacheSize   int `json:"cache_size"`   // entries currently cached
+	Coalesced   int `json:"coalesced"`    // submissions merged into an in-flight run
+	Workers     int `json:"workers"`      // worker-pool size
+	MaxWalkers  int `json:"max_walkers"`  // per-job walker cap
+	QueueDepth  int `json:"queue_depth"`  // jobs waiting for a worker
+	ActiveJobs  int `json:"active_jobs"`  // jobs currently running
+	GraphsCount int `json:"graphs_count"` // registered graphs
+}
+
+// Options tunes the Manager. The zero value gets production defaults.
+type Options struct {
+	// Workers bounds concurrent jobs. 0 sizes the pool with the shared
+	// trial-pool rule: stats.PoolWorkers(MaxWalkers), so job parallelism ×
+	// walkers stays at GOMAXPROCS.
+	Workers int
+	// MaxWalkers caps Spec.Walkers (and feeds the default pool sizing).
+	// 0 means 8.
+	MaxWalkers int
+	// CacheSize is the LRU capacity in results. 0 means 256; negative
+	// disables caching.
+	CacheSize int
+	// SnapshotEvery is the checkpoint spacing in windows for progress
+	// snapshots and cancellation barriers. 0 derives ~64 checkpoints per
+	// job (min 250 windows apart).
+	SnapshotEvery int
+	// QueueCap bounds the admission queue; Submit fails once it is full.
+	// 0 means 1024.
+	QueueCap int
+	// MaxJobs bounds retained job records: beyond it, the oldest terminal
+	// jobs (completed runs, instant cache hits) are evicted from the table,
+	// so a long-running daemon's memory does not grow with request count.
+	// Evicted job IDs answer 404 on later polls. 0 means 4096.
+	MaxJobs int
+	// NewClient builds the access client for a job's graph. nil means the
+	// in-memory access.NewGraphClient. Tests and latency modeling inject
+	// wrappers (access.NewDelayed, access.NewCounting) here.
+	NewClient func(g *graph.Graph) access.Client
+}
+
+func (o Options) withDefaults() Options {
+	// Non-positive knobs take the default rather than producing a pool with
+	// zero workers (which would strand every job in "queued" forever) or a
+	// panic on a negative channel capacity.
+	if o.MaxWalkers <= 0 {
+		o.MaxWalkers = 8
+	}
+	if o.Workers <= 0 {
+		o.Workers = stats.PoolWorkers(o.MaxWalkers)
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
+	}
+	if o.CacheSize < 0 {
+		o.CacheSize = 0
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 1024
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 4096
+	}
+	if o.NewClient == nil {
+		o.NewClient = func(g *graph.Graph) access.Client { return access.NewGraphClient(g) }
+	}
+	return o
+}
+
+// Manager owns the job lifecycle: admission, coalescing, caching, the
+// bounded worker pool, progress snapshots, and cancellation. All methods
+// are safe for concurrent use.
+type Manager struct {
+	reg  *Registry
+	opts Options
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string      // submission order, for List
+	inflight  map[Spec]*job // non-terminal job per spec (single flight)
+	cache     *resultCache
+	nextID    int
+	runs      int
+	cacheHits int
+	coalesced int
+	active    int
+	closed    bool
+
+	queue chan *job
+	wg    sync.WaitGroup
+}
+
+// NewManager starts the worker pool and returns the manager. Call Close to
+// stop it.
+func NewManager(reg *Registry, opts Options) *Manager {
+	opts = opts.withDefaults()
+	m := &Manager{
+		reg:      reg,
+		opts:     opts,
+		jobs:     make(map[string]*job),
+		inflight: make(map[Spec]*job),
+		cache:    newResultCache(opts.CacheSize),
+		queue:    make(chan *job, opts.QueueCap),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Close drains the pool: running jobs are cancelled, queued jobs are marked
+// canceled, and workers exit.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.queue)
+	for _, j := range m.jobs {
+		if j.state == StateRunning && j.cancel != nil {
+			j.cancel()
+		}
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// validate admission-checks a spec.
+func (m *Manager) validate(spec Spec) error {
+	if _, ok := m.reg.Get(spec.Graph); !ok {
+		return fmt.Errorf("service: unknown graph %q", spec.Graph)
+	}
+	if spec.Steps <= 0 {
+		return fmt.Errorf("service: non-positive step budget %d", spec.Steps)
+	}
+	if spec.Walkers > m.opts.MaxWalkers {
+		return fmt.Errorf("service: walkers %d exceeds server cap %d", spec.Walkers, m.opts.MaxWalkers)
+	}
+	return spec.config().Validate()
+}
+
+// Submit admits a spec and returns the job answering it. The returned view
+// may be a terminal cache hit (state "done", Cached), an in-flight job other
+// submitters already share (Coalesced > 1), or a fresh queued job.
+func (m *Manager) Submit(spec Spec) (JobView, error) {
+	// Normalize before keying: the engine treats Walkers 0 and 1 identically
+	// (one walker, unchanged seed stream), so they must hit the same cache
+	// and single-flight entries.
+	if spec.Walkers == 0 {
+		spec.Walkers = 1
+	}
+	if err := m.validate(spec); err != nil {
+		return JobView{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobView{}, fmt.Errorf("service: manager closed")
+	}
+	// Cache hit: a completed identical run answers instantly via a fresh
+	// (already terminal) job record.
+	if res, ok := m.cache.get(spec); ok {
+		m.cacheHits++
+		j := m.newJobLocked(spec)
+		j.cached = true
+		j.coalesced = 1
+		m.finishLocked(j, StateDone, res, nil)
+		return j.view(), nil
+	}
+	// Single flight: an identical spec already queued or running absorbs
+	// this submission.
+	if j, ok := m.inflight[spec]; ok {
+		j.coalesced++
+		m.coalesced++
+		return j.view(), nil
+	}
+	j := m.newJobLocked(spec)
+	j.coalesced = 1
+	select {
+	case m.queue <- j:
+	default:
+		delete(m.jobs, j.id)
+		m.order = m.order[:len(m.order)-1]
+		return JobView{}, fmt.Errorf("service: admission queue full (%d jobs)", cap(m.queue))
+	}
+	m.inflight[spec] = j
+	return j.view(), nil
+}
+
+// newJobLocked allocates and indexes a queued job. Caller holds m.mu.
+func (m *Manager) newJobLocked(spec Spec) *job {
+	m.nextID++
+	j := &job{
+		id:       fmt.Sprintf("j-%d", m.nextID),
+		spec:     spec,
+		state:    StateQueued,
+		progress: Progress{Total: spec.Steps},
+		created:  time.Now(),
+		done:     make(chan struct{}),
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	return j
+}
+
+// finishLocked moves a job to a terminal state and prunes old history.
+// Caller holds m.mu.
+func (m *Manager) finishLocked(j *job, state State, res *core.Result, err error) {
+	j.state = state
+	j.finished = time.Now()
+	if res != nil {
+		j.result = res
+		j.progress.Steps = res.Steps
+		j.progress.Concentration = res.Concentration()
+	}
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	close(j.done)
+	m.pruneLocked()
+}
+
+// pruneLocked evicts the oldest terminal jobs while the table exceeds
+// MaxJobs, bounding daemon memory under sustained traffic (every
+// submission — including instant cache hits — allocates a record). Live
+// jobs are never evicted. Caller holds m.mu.
+func (m *Manager) pruneLocked() {
+	for i := 0; i < len(m.order) && len(m.jobs) > m.opts.MaxJobs; {
+		id := m.order[i]
+		if !m.jobs[id].state.terminal() {
+			i++
+			continue
+		}
+		delete(m.jobs, id)
+		m.order = append(m.order[:i], m.order[i+1:]...)
+	}
+}
+
+// worker drains the queue until Close.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// snapshotEvery derives the checkpoint spacing for a budget.
+func (m *Manager) snapshotEvery(steps int) int {
+	if m.opts.SnapshotEvery > 0 {
+		return m.opts.SnapshotEvery
+	}
+	every := steps / 64
+	if every < 250 {
+		every = 250
+	}
+	return every
+}
+
+// runJob executes one queued job end to end.
+func (m *Manager) runJob(j *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	m.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting in the queue
+		m.mu.Unlock()
+		return
+	}
+	if m.closed { // drained from the queue during shutdown
+		delete(m.inflight, j.spec)
+		m.finishLocked(j, StateCanceled, nil, context.Canceled)
+		m.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	m.active++
+	m.runs++
+	m.mu.Unlock()
+
+	g, ok := m.reg.Get(j.spec.Graph)
+	if !ok {
+		m.settle(j, nil, fmt.Errorf("service: graph %q disappeared", j.spec.Graph))
+		return
+	}
+	est, err := core.NewEstimator(m.opts.NewClient(g), j.spec.config())
+	if err != nil {
+		m.settle(j, nil, err)
+		return
+	}
+	// The seed draw runs outside the engine's per-walker panic guard, and
+	// crawl clients report transport failures by panicking — a panic here
+	// must fail this job, not kill the daemon and its other jobs.
+	res, err := func() (res *core.Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("service: job %s: %v", j.id, r)
+			}
+		}()
+		return est.RunCheckpointsCtx(ctx, j.spec.Steps, m.snapshotEvery(j.spec.Steps),
+			func(step int, conc []float64) {
+				m.mu.Lock()
+				j.progress.Steps = step
+				j.progress.Concentration = conc
+				m.mu.Unlock()
+			})
+	}()
+	m.settle(j, res, err)
+}
+
+// settle records a run's outcome: Done results populate the cache; a
+// cancelled run keeps its partial result (progress made) but is not cached.
+func (m *Manager) settle(j *job, res *core.Result, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.active--
+	delete(m.inflight, j.spec)
+	switch {
+	case err == nil:
+		m.cache.put(j.spec, res)
+		m.finishLocked(j, StateDone, res, nil)
+	case errors.Is(err, context.Canceled):
+		m.finishLocked(j, StateCanceled, res, err)
+	default:
+		m.finishLocked(j, StateFailed, res, err)
+	}
+}
+
+// Cancel stops a queued or running job. Cancelling a terminal job is a
+// no-op that reports its final state. Note that a coalesced job is shared:
+// cancelling it cancels it for every submitter.
+func (m *Manager) Cancel(id string) (JobView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	switch j.state {
+	case StateQueued:
+		delete(m.inflight, j.spec)
+		m.finishLocked(j, StateCanceled, nil, context.Canceled)
+	case StateRunning:
+		j.cancel() // observed at the next checkpoint barrier; settle finishes the job
+	}
+	return j.view(), nil
+}
+
+// Get returns a snapshot of the job.
+func (m *Manager) Get(id string) (JobView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// Wait blocks until the job reaches a terminal state or the context is
+// done, and returns the final snapshot.
+func (m *Manager) Wait(ctx context.Context, id string) (JobView, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobView{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return j.view(), nil
+}
+
+// List returns snapshots of all jobs in submission order.
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobView, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].view())
+	}
+	return out
+}
+
+// Stats returns a snapshot of the service counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Jobs:        len(m.jobs),
+		Runs:        m.runs,
+		CacheHits:   m.cacheHits,
+		CacheSize:   m.cache.len(),
+		Coalesced:   m.coalesced,
+		Workers:     m.opts.Workers,
+		MaxWalkers:  m.opts.MaxWalkers,
+		QueueDepth:  len(m.queue),
+		ActiveJobs:  m.active,
+		GraphsCount: len(m.reg.List()),
+	}
+}
+
+// view renders the client-facing snapshot. Caller holds Manager.mu.
+func (j *job) view() JobView {
+	v := JobView{
+		ID:        j.id,
+		Spec:      j.spec,
+		State:     j.state,
+		Progress:  j.progress,
+		Error:     j.errMsg,
+		Cached:    j.cached,
+		Coalesced: j.coalesced,
+	}
+	if conc := j.progress.Concentration; conc != nil {
+		v.Progress.Concentration = append([]float64(nil), conc...)
+	}
+	if j.state == StateDone && j.result != nil {
+		v.Result = &JobResult{
+			Method:        j.result.Config.MethodName(),
+			Steps:         j.result.Steps,
+			ValidSamples:  j.result.ValidSamples,
+			Concentration: j.result.Concentration(),
+			Weights:       append([]float64(nil), j.result.Weights...),
+		}
+	}
+	return v
+}

@@ -1,0 +1,125 @@
+// Package service turns the estimation engine into a long-running,
+// multi-graph daemon — the front door the ROADMAP's production north star
+// needs on top of the parallel walker ensemble:
+//
+//   - a graph Registry of named graphs (edge-list files or stand-in
+//     datasets), listed and introspected over HTTP;
+//   - an async job Manager: POST an estimation Spec, get a job ID, poll
+//     live progress snapshots, cancel via context cancellation plumbed down
+//     to the walker ensemble's checkpoint barriers;
+//   - a result cache with request coalescing: identical specs are answered
+//     from an LRU cache, and identical in-flight specs are deduplicated
+//     single-flight, so a thundering herd of N clients costs one estimation
+//     (sound because equal Config+Seed runs are byte-identical);
+//   - a bounded worker pool sized with the shared trial-pool rule
+//     (stats.PoolWorkers), so job parallelism × walkers stays at
+//     GOMAXPROCS.
+//
+// cmd/graphletd wires the package to a TCP listener.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/datasets"
+	"repro/internal/graph"
+)
+
+// GraphInfo is the introspection record served for one registered graph.
+type GraphInfo struct {
+	Name      string `json:"name"`
+	Source    string `json:"source"` // "dataset", "file", or "inline"
+	Nodes     int    `json:"nodes"`
+	Edges     int64  `json:"edges"`
+	MaxDegree int    `json:"max_degree"`
+}
+
+// Registry holds the named graphs the daemon serves estimations over.
+// Names are immutable once registered — the result cache is keyed by graph
+// name, so re-binding a name to different topology would serve stale
+// results. It is safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	graphs map[string]*graph.Graph
+	infos  map[string]GraphInfo
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		graphs: make(map[string]*graph.Graph),
+		infos:  make(map[string]GraphInfo),
+	}
+}
+
+// Add registers g under name. Registering an existing name is an error.
+func (r *Registry) Add(name, source string, g *graph.Graph) error {
+	if name == "" {
+		return fmt.Errorf("service: empty graph name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[name]; ok {
+		return fmt.Errorf("service: graph %q already registered", name)
+	}
+	r.graphs[name] = g
+	r.infos[name] = GraphInfo{
+		Name:      name,
+		Source:    source,
+		Nodes:     g.NumNodes(),
+		Edges:     g.NumEdges(),
+		MaxDegree: g.MaxDegree(),
+	}
+	return nil
+}
+
+// AddDataset registers the stand-in dataset's largest connected component
+// under its own name.
+func (r *Registry) AddDataset(name string) error {
+	d, err := datasets.Get(name)
+	if err != nil {
+		return err
+	}
+	return r.Add(name, "dataset", d.Graph())
+}
+
+// AddFile loads an edge list from path, extracts its largest connected
+// component (the paper's preprocessing), and registers it under name.
+func (r *Registry) AddFile(name, path string) error {
+	loaded, err := graph.LoadEdgeList(path)
+	if err != nil {
+		return fmt.Errorf("service: graph %q: %w", name, err)
+	}
+	lcc, _ := graph.LargestComponent(loaded)
+	return r.Add(name, "file", lcc)
+}
+
+// Get returns the graph registered under name.
+func (r *Registry) Get(name string) (*graph.Graph, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	g, ok := r.graphs[name]
+	return g, ok
+}
+
+// Info returns the introspection record for name.
+func (r *Registry) Info(name string) (GraphInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	info, ok := r.infos[name]
+	return info, ok
+}
+
+// List returns all registered graphs sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]GraphInfo, 0, len(r.infos))
+	for _, info := range r.infos {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

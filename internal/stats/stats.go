@@ -53,6 +53,25 @@ func Variance(xs []float64) float64 {
 // StdDev returns the population standard deviation.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
+// PoolWorkers sizes a worker pool whose tasks are themselves parallel:
+// it returns how many tasks may run concurrently so that
+// tasks × perTask stays at the machine's parallelism (GOMAXPROCS), and at
+// least one task always runs. perTask <= 1 means tasks are sequential
+// inside, so the pool gets one worker per CPU. Both the experiment trial
+// pool and the estimation service's job pool size themselves with it, so a
+// walker-ensemble task never oversubscribes the machine and its wall time
+// stays comparable to the same task run alone.
+func PoolWorkers(perTask int) int {
+	if perTask <= 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	w := runtime.GOMAXPROCS(0) / perTask
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // TrialFunc runs one independent simulation (seeded deterministically by the
 // trial index) and returns an estimate vector.
 type TrialFunc func(trial int) []float64

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -108,5 +109,23 @@ func TestNRMSEScaleInvariance(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestPoolWorkers(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	if got := PoolWorkers(0); got != max {
+		t.Errorf("PoolWorkers(0) = %d, want GOMAXPROCS = %d", got, max)
+	}
+	if got := PoolWorkers(1); got != max {
+		t.Errorf("PoolWorkers(1) = %d, want GOMAXPROCS = %d", got, max)
+	}
+	if got := PoolWorkers(2 * max); got != 1 {
+		t.Errorf("PoolWorkers(%d) = %d, want 1", 2*max, got)
+	}
+	if max >= 2 {
+		if got := PoolWorkers(2); got != max/2 {
+			t.Errorf("PoolWorkers(2) = %d, want %d", got, max/2)
+		}
 	}
 }
