@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	experiments [-steps N] [-trials N] [-walkers W] [table2|table3|table4|table5|fig4|fig5|fig6|table6|fig7|fig8|table7|all]
+//	experiments [-steps N] [-trials N] [-walkers W] [-graph-cache=false] [table2|table3|table4|table5|fig4|fig5|fig6|table6|fig7|fig8|table7|all]
 //
 // Defaults follow the paper where practical: 20K walk steps; 200 independent
 // simulations (the paper uses 1,000, and 100 for the slow SRW4 — this harness
 // scales SRW4 down by 10x the same way).
+//
+// Stand-in dataset graphs are cached on disk in the .gcsr binary CSR format
+// (under $REPRO_CACHE_DIR, like the ground-truth cache) and opened zero-copy
+// via mmap on later runs, so repeated invocations skip the generators
+// entirely; -graph-cache=false rebuilds from scratch.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/datasets"
 	"repro/internal/experiments"
 )
 
@@ -24,8 +30,11 @@ func main() {
 	steps := flag.Int("steps", 20000, "random walk steps per run")
 	trials := flag.Int("trials", 200, "independent simulations per method")
 	walkers := flag.Int("walkers", 0, "concurrent walkers per run (0 = single walker)")
+	graphCache := flag.Bool("graph-cache", os.Getenv("REPRO_NO_GRAPH_CACHE") == "",
+		"cache dataset graphs as .gcsr files and mmap them on later runs")
 	flag.Usage = usage
 	flag.Parse()
+	datasets.SetGraphCaching(*graphCache)
 
 	p := experiments.Params{Steps: *steps, Trials: *trials, Walkers: *walkers}
 	args := flag.Args()

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		path    = flag.String("graph", "", "edge list file (serve mode)")
+		path    = flag.String("graph", "", "graph file, edge list or .gcsr (serve mode)")
 		dataset = flag.String("dataset", "", "stand-in dataset name (serve mode)")
 		addr    = flag.String("addr", "127.0.0.1:8080", "listen address (serve mode)")
 		seed    = flag.Int64("seed", 1, "seed: /v1/nodes/random (serve) or the walk RNG (crawl)")
@@ -51,7 +51,7 @@ func main() {
 	var g *graph.Graph
 	switch {
 	case *path != "":
-		loaded, err := graph.LoadEdgeList(*path)
+		loaded, err := graph.OpenFile(*path, graph.FormatAuto)
 		if err != nil {
 			fail(err)
 		}

@@ -1,0 +1,64 @@
+package graphletrw
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// The acceptance property of the binary CSR store: an estimation over a
+// builder-loaded graph must be byte-identical to the same estimation over
+// the .gcsr portable-load and mmap'd graphs. The walk consumes only
+// adjacency and the seeded RNG, so equal graphs must give equal bytes — any
+// divergence means the store (or the hub-bitset probe path) changed the
+// topology it serves.
+func TestEstimateByteIdenticalAcrossLoadPaths(t *testing.T) {
+	raw := gen.HolmeKim(1200, 4, 0.6, 77)
+	built, _ := LargestComponent(raw)
+
+	path := filepath.Join(t.TempDir(), "g.gcsr")
+	if err := SaveGraph(path, built); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := graph.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := graph.OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if !mapped.Mapped() {
+		t.Log("OpenMapped fell back to the portable load path on this platform")
+	}
+
+	for _, cfg := range []Config{
+		{K: 3, D: 1, CSS: true, NB: true, Seed: 5},
+		{K: 4, D: 2, CSS: true, Seed: 5, Walkers: 4},
+		{K: 5, D: 2, CSS: true, Seed: 9},
+	} {
+		cfg := cfg
+		t.Run(cfg.MethodName(), func(t *testing.T) {
+			render := func(g *Graph) string {
+				res, err := Estimate(NewClient(g), cfg, 6000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Exact float formatting: byte-identical, not almost-equal.
+				return fmt.Sprintf("%x|%x|%v|%d|%d",
+					res.Concentration(), res.Weights, res.TypeCounts, res.Steps, res.ValidSamples)
+			}
+			want := render(built)
+			if got := render(loaded); got != want {
+				t.Errorf("Load path diverged:\nbuilt:  %s\nloaded: %s", want, got)
+			}
+			if got := render(mapped); got != want {
+				t.Errorf("OpenMapped path diverged:\nbuilt:  %s\nmapped: %s", want, got)
+			}
+		})
+	}
+}

@@ -114,9 +114,39 @@ var (
 	mu     sync.Mutex
 	graphs = map[string]*graph.Graph{}
 	truths = map[string][]int64{}
+
+	// graphCache gates the on-disk .gcsr cache of dataset LCCs. Disabled by
+	// the REPRO_NO_GRAPH_CACHE environment variable or SetGraphCaching.
+	graphCache = os.Getenv("REPRO_NO_GRAPH_CACHE") == ""
 )
 
-// Graph returns the dataset's largest connected component, memoized.
+// SetGraphCaching toggles the on-disk .gcsr cache of dataset graphs.
+func SetGraphCaching(enabled bool) {
+	mu.Lock()
+	graphCache = enabled
+	mu.Unlock()
+}
+
+func graphCachingEnabled() bool {
+	mu.Lock()
+	defer mu.Unlock()
+	return graphCache
+}
+
+// graphCacheGen versions the on-disk dataset graph cache. Like the
+// ground-truth JSON cache, entries are keyed by dataset name and assume the
+// registry's generator definitions are fixed: bump this constant whenever a
+// Build closure changes (or delete $REPRO_CACHE_DIR) so stale topologies
+// are never served.
+const graphCacheGen = 1
+
+// Graph returns the dataset's largest connected component, memoized in
+// process and cached on disk in the .gcsr binary format: after the first
+// build, a process opens the graph via the zero-copy mmap path in
+// milliseconds instead of re-running the generator. The cache is
+// best-effort, and a hit is byte-identical to a fresh build
+// (Save/OpenMapped round trips preserve the graph exactly) as long as the
+// generator definitions match the cache generation (graphCacheGen).
 func (d Dataset) Graph() *graph.Graph {
 	mu.Lock()
 	g, ok := graphs[d.Name]
@@ -124,8 +154,23 @@ func (d Dataset) Graph() *graph.Graph {
 	if ok {
 		return g
 	}
+	caching := graphCachingEnabled()
+	cachePath := filepath.Join(cacheDir(), fmt.Sprintf("%s-lcc.g%d.gcsr", d.Name, graphCacheGen))
+	if caching {
+		if cached, err := graph.OpenMapped(cachePath); err == nil {
+			mu.Lock()
+			graphs[d.Name] = cached
+			mu.Unlock()
+			return cached
+		}
+	}
 	raw := d.Build()
 	lcc, _ := graph.LargestComponent(raw)
+	if caching {
+		if err := os.MkdirAll(cacheDir(), 0o755); err == nil {
+			_ = graph.Save(cachePath, lcc) // best-effort, atomic
+		}
+	}
 	mu.Lock()
 	graphs[d.Name] = lcc
 	mu.Unlock()

@@ -1,0 +1,57 @@
+package datasets
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The on-disk .gcsr dataset cache must hand back exactly the graph a fresh
+// build produces — estimates may not depend on whether the cache was hit.
+func TestGraphCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	old := os.Getenv("REPRO_CACHE_DIR")
+	os.Setenv("REPRO_CACHE_DIR", dir)
+	defer os.Setenv("REPRO_CACHE_DIR", old)
+
+	d, err := Get("brightkite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference build, bypassing both the memo and the disk cache.
+	raw := d.Build()
+	want, _ := graph.LargestComponent(raw)
+
+	// Prime the disk cache (the memo may already hold the graph from other
+	// tests, so write the cache file directly through the same pipeline).
+	cachePath := filepath.Join(dir, fmt.Sprintf("%s-lcc.g%d.gcsr", d.Name, graphCacheGen))
+	if err := graph.Save(cachePath, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := graph.OpenMapped(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() || got.MaxDegree() != want.MaxDegree() {
+		t.Fatalf("cached graph %v (maxDeg %d) != built %v (maxDeg %d)",
+			got, got.MaxDegree(), want, want.MaxDegree())
+	}
+	for v := int32(0); v < int32(want.NumNodes()); v++ {
+		a, b := want.Neighbors(v), got.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("node %d: degree %d vs %d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d: neighbor[%d] %d vs %d", v, i, a[i], b[i])
+			}
+		}
+	}
+	if err := graph.Validate(got); err != nil {
+		t.Fatal(err)
+	}
+}

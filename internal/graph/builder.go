@@ -91,6 +91,7 @@ func (b *Builder) Build() *Graph {
 			g.maxDeg = d
 		}
 	}
+	g.buildHubIndex()
 	return g
 }
 
@@ -118,7 +119,12 @@ func Validate(g *Graph) error {
 			if i > 0 && ns[i-1] >= u {
 				return fmt.Errorf("neighbor list of %d not strictly sorted at index %d", v, i)
 			}
-			if !g.HasEdge(u, v) {
+			// Probe u's list directly rather than through HasEdge: the hub
+			// bitset fast path answers from v's own row, which would let an
+			// asymmetric pair involving a hub slip through.
+			back := g.Neighbors(u)
+			j := sort.Search(len(back), func(j int) bool { return back[j] >= v })
+			if j == len(back) || back[j] != v {
 				return fmt.Errorf("asymmetric edge (%d,%d)", v, u)
 			}
 		}
@@ -134,6 +140,34 @@ func Validate(g *Graph) error {
 	}
 	if maxDeg != g.MaxDegree() {
 		return fmt.Errorf("cached MaxDegree %d != scanned max degree %d", g.MaxDegree(), maxDeg)
+	}
+	// Hub bitset rows, when present, must agree bit-for-bit with the
+	// adjacency lists (HasEdge answers from them).
+	if g.hubIdx != nil {
+		if len(g.hubIdx) != g.NumNodes() {
+			return fmt.Errorf("hub index length %d != %d nodes", len(g.hubIdx), g.NumNodes())
+		}
+		for v := int32(0); v < int32(g.NumNodes()); v++ {
+			r := g.hubIdx[v]
+			if r < 0 {
+				continue
+			}
+			row := g.hubRows[int(r)*g.hubStride : (int(r)+1)*g.hubStride]
+			bits := 0
+			for _, w := range row {
+				for ; w != 0; w &= w - 1 {
+					bits++
+				}
+			}
+			if bits != g.Degree(v) {
+				return fmt.Errorf("hub row of %d has %d bits, degree is %d", v, bits, g.Degree(v))
+			}
+			for _, u := range g.Neighbors(v) {
+				if row[u>>6]>>(uint(u)&63)&1 != 1 {
+					return fmt.Errorf("hub row of %d missing neighbor %d", v, u)
+				}
+			}
+		}
 	}
 	return nil
 }

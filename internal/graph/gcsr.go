@@ -1,0 +1,364 @@
+package graph
+
+// Binary CSR on-disk format (".gcsr"): the compact, load-instantly graph
+// store behind graphlet-pack, the service registry and the dataset cache.
+// An edge list is parsed once (pack time); afterwards the graph opens in
+// milliseconds — via a portable decoding read path (Load) everywhere, or
+// zero-copy mmap (OpenMapped) on unix little-endian hosts, where the off/adj
+// arrays alias the page cache and are shared across processes.
+//
+// Layout (all integers little-endian):
+//
+//	offset  size       field
+//	0       4          magic "GCSR"
+//	4       4          format version (currently 1)
+//	8       8          n, number of nodes
+//	16      8          m, number of undirected edges
+//	24      8          max degree
+//	32      4          CRC-32C (Castagnoli) of the payload bytes
+//	36      4          reserved, zero (keeps the off array 8-byte aligned)
+//	40      (n+1)*8    off array, int64
+//	...     2m*4       adj array, int32
+//
+// The header is 40 bytes, so both arrays stay naturally aligned in a
+// page-aligned mapping. Both read paths verify, at open time: the header
+// invariants, the payload checksum (so truncation or corruption fails
+// loudly instead of skewing estimates), the off prefix-sum/max-degree
+// invariants, and per-row neighbor validity (in-range, strictly ascending,
+// no self loops). Adjacency symmetry is the one invariant not checked at
+// open — a per-arc reverse probe would cost more than the open itself; a
+// file written by graph.Save is symmetric by construction, and
+// Validate (run by graphlet-pack -verify) audits it for files of unknown
+// provenance.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+const (
+	gcsrMagic      = "GCSR"
+	gcsrVersion    = 1
+	gcsrHeaderSize = 40
+
+	// GCSRExt is the conventional file extension of the binary format.
+	GCSRExt = ".gcsr"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// gcsrHeader is the decoded fixed-size header.
+type gcsrHeader struct {
+	n      int64
+	m      int64
+	maxDeg int64
+	crc    uint32
+}
+
+func (h gcsrHeader) offBytes() int64 { return (h.n + 1) * 8 }
+func (h gcsrHeader) adjBytes() int64 { return 2 * h.m * 4 }
+
+// WriteBinary writes g in the .gcsr format. The payload is streamed twice
+// (checksum pass, then write pass), so no full in-memory copy is made.
+func WriteBinary(w io.Writer, g *Graph) error {
+	crc := crc32.New(castagnoli)
+	if err := writePayload(crc, g); err != nil {
+		return err
+	}
+	var hdr [gcsrHeaderSize]byte
+	copy(hdr[0:4], gcsrMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], gcsrVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(g.NumNodes()))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(g.m))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(g.maxDeg))
+	binary.LittleEndian.PutUint32(hdr[32:36], crc.Sum32())
+	// hdr[36:40] reserved, zero.
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := writePayload(bw, g); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writePayload streams the off and adj arrays as little-endian bytes.
+func writePayload(w io.Writer, g *Graph) error {
+	var buf [8]byte
+	for _, o := range g.off {
+		binary.LittleEndian.PutUint64(buf[:8], uint64(o))
+		if _, err := w.Write(buf[:8]); err != nil {
+			return err
+		}
+	}
+	for _, a := range g.adj {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(a))
+		if _, err := w.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Save writes g to path in the .gcsr format, atomically: the bytes go to a
+// uniquely named temporary file in the same directory, then rename into
+// place. Concurrent savers of the same path (e.g. two processes both
+// missing the dataset cache) each write their own temp file, and the last
+// rename wins with a complete file either way.
+func Save(path string, g *Graph) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	// WriteBinary buffers the payload itself; no extra layer needed.
+	if err := WriteBinary(f, g); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// os.CreateTemp makes the file 0600; restore normal create permissions
+	// so other users (a daemon under a service account, sibling processes
+	// sharing a cache dir) can open the packed graph.
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// parseHeader decodes and sanity-checks the fixed-size header.
+func parseHeader(hdr []byte) (gcsrHeader, error) {
+	var h gcsrHeader
+	if len(hdr) < gcsrHeaderSize {
+		return h, fmt.Errorf("gcsr: file shorter than the %d-byte header", gcsrHeaderSize)
+	}
+	if string(hdr[0:4]) != gcsrMagic {
+		return h, fmt.Errorf("gcsr: bad magic %q (not a .gcsr file)", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != gcsrVersion {
+		return h, fmt.Errorf("gcsr: unsupported format version %d (want %d)", v, gcsrVersion)
+	}
+	h.n = int64(binary.LittleEndian.Uint64(hdr[8:16]))
+	h.m = int64(binary.LittleEndian.Uint64(hdr[16:24]))
+	h.maxDeg = int64(binary.LittleEndian.Uint64(hdr[24:32]))
+	h.crc = binary.LittleEndian.Uint32(hdr[32:36])
+	switch {
+	case h.n < 0 || h.n > math.MaxInt32:
+		return h, fmt.Errorf("gcsr: node count %d out of range", h.n)
+	// Bound m so offBytes()+adjBytes()+header cannot overflow int64 — a
+	// lying header must produce an error, not a wrapped-negative or
+	// astronomically large allocation size.
+	case h.m < 0 || h.m > (math.MaxInt64-gcsrHeaderSize-h.offBytes())/8:
+		return h, fmt.Errorf("gcsr: edge count %d out of range", h.m)
+	case h.maxDeg < 0 || h.maxDeg > h.n:
+		return h, fmt.Errorf("gcsr: max degree %d out of range for %d nodes", h.maxDeg, h.n)
+	}
+	return h, nil
+}
+
+// checkAdjacency verifies each neighbor row is strictly ascending, in
+// range, and self-loop free — the invariants HasEdge's binary search and the
+// hub bitset build depend on. O(m), shared by the portable and mmap read
+// paths (both already touch every payload byte for the checksum), so a
+// structurally invalid file from any writer fails loudly at open time
+// instead of skewing estimates or panicking later.
+func checkAdjacency(off []int64, adj []int32, h gcsrHeader) error {
+	for v := int64(0); v < h.n; v++ {
+		row := adj[off[v]:off[v+1]]
+		for i, u := range row {
+			if u < 0 || int64(u) >= h.n {
+				return fmt.Errorf("gcsr: node %d: neighbor %d out of range [0,%d)", v, u, h.n)
+			}
+			if int64(u) == v {
+				return fmt.Errorf("gcsr: node %d: self loop", v)
+			}
+			if i > 0 && row[i-1] >= u {
+				return fmt.Errorf("gcsr: node %d: neighbor row not strictly ascending at index %d", v, i)
+			}
+		}
+	}
+	return nil
+}
+
+// checkOffsets verifies the off array is a monotone prefix-sum array ending
+// at 2m and that the stored max degree matches. It is O(n) and shared by the
+// portable and mmap read paths.
+func checkOffsets(off []int64, h gcsrHeader) error {
+	if off[0] != 0 {
+		return fmt.Errorf("gcsr: off[0] = %d, want 0", off[0])
+	}
+	if off[h.n] != 2*h.m {
+		return fmt.Errorf("gcsr: off[n] = %d, want 2m = %d", off[h.n], 2*h.m)
+	}
+	maxDeg := int64(0)
+	for v := int64(0); v < h.n; v++ {
+		d := off[v+1] - off[v]
+		if d < 0 {
+			return fmt.Errorf("gcsr: off array not monotone at node %d", v)
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg != h.maxDeg {
+		return fmt.Errorf("gcsr: stored max degree %d != scanned %d", h.maxDeg, maxDeg)
+	}
+	return nil
+}
+
+// ReadBinary decodes a .gcsr stream with the portable (endianness-agnostic,
+// allocating) read path and verifies the checksum and structural invariants.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	var hdr [gcsrHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("gcsr: reading header: %w", err)
+	}
+	h, err := parseHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	// Read through an incrementally growing buffer instead of one up-front
+	// make(): a corrupt header claiming an exabyte payload then fails with a
+	// truncation error after the actual bytes run out, rather than panicking
+	// on an impossible allocation.
+	want := h.offBytes() + h.adjBytes()
+	payload, err := io.ReadAll(io.LimitReader(r, want))
+	if err != nil {
+		return nil, fmt.Errorf("gcsr: reading payload: %w", err)
+	}
+	if int64(len(payload)) != want {
+		return nil, fmt.Errorf("gcsr: payload is %d bytes, header promises %d (file truncated?)", len(payload), want)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != h.crc {
+		return nil, fmt.Errorf("gcsr: payload checksum %08x != stored %08x (file corrupted)", got, h.crc)
+	}
+	off := make([]int64, h.n+1)
+	for i := range off {
+		off[i] = int64(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	if err := checkOffsets(off, h); err != nil {
+		return nil, err
+	}
+	adjPayload := payload[h.offBytes():]
+	adj := make([]int32, 2*h.m)
+	for i := range adj {
+		adj[i] = int32(binary.LittleEndian.Uint32(adjPayload[i*4:]))
+	}
+	if err := checkAdjacency(off, adj, h); err != nil {
+		return nil, err
+	}
+	g := &Graph{off: off, adj: adj, m: h.m, maxDeg: int(h.maxDeg)}
+	g.buildHubIndex()
+	return g, nil
+}
+
+// Load reads a .gcsr file from disk with the portable read path.
+func Load(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ReadBinary(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("graph: %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// hostLittleEndian reports whether the host stores integers little-endian,
+// the precondition for the zero-copy mmap path.
+func hostLittleEndian() bool {
+	return binary.NativeEndian.Uint16([]byte{0x01, 0x00}) == 1
+}
+
+// Format identifies an on-disk graph encoding.
+type Format int
+
+const (
+	// FormatAuto selects the format by file extension, falling back to
+	// sniffing the magic bytes.
+	FormatAuto Format = iota
+	// FormatEdgeList is the whitespace-separated "u v" text format.
+	FormatEdgeList
+	// FormatGCSR is the binary CSR format of this file.
+	FormatGCSR
+)
+
+// String returns the flag-style name of the format.
+func (f Format) String() string {
+	switch f {
+	case FormatAuto:
+		return "auto"
+	case FormatEdgeList:
+		return "edgelist"
+	case FormatGCSR:
+		return "gcsr"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// ParseFormat parses a -format flag value ("auto", "edgelist", "gcsr").
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return FormatAuto, nil
+	case "edgelist", "txt", "text":
+		return FormatEdgeList, nil
+	case "gcsr", "binary":
+		return FormatGCSR, nil
+	}
+	return FormatAuto, fmt.Errorf("graph: unknown format %q (want auto, edgelist or gcsr)", s)
+}
+
+// DetectFormat resolves FormatAuto for path: the .gcsr extension wins, then
+// the magic bytes are sniffed, and anything else is treated as an edge list.
+func DetectFormat(path string) Format {
+	if strings.HasSuffix(strings.ToLower(path), GCSRExt) {
+		return FormatGCSR
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return FormatEdgeList
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err == nil && string(magic[:]) == gcsrMagic {
+		return FormatGCSR
+	}
+	return FormatEdgeList
+}
+
+// OpenFile opens a graph file in the given format (FormatAuto detects it).
+// .gcsr files are opened with the zero-copy mmap path where available; call
+// Close on the returned graph when done with a mapped graph.
+func OpenFile(path string, format Format) (*Graph, error) {
+	if format == FormatAuto {
+		format = DetectFormat(path)
+	}
+	switch format {
+	case FormatGCSR:
+		return OpenMapped(path)
+	case FormatEdgeList:
+		return LoadEdgeList(path)
+	}
+	return nil, fmt.Errorf("graph: cannot open %s with format %v", path, format)
+}

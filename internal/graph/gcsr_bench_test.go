@@ -1,0 +1,179 @@
+package graph_test
+
+// Load-path and probe benchmarks on a >=1M-edge synthetic graph, the numbers
+// behind BENCH_pr3.json: text parse (LoadEdgeList) vs portable binary decode
+// (Load) vs zero-copy mmap (OpenMapped), plus HasEdge against hub and
+// non-hub endpoints and the cached-arc RandomEdge draw. The fixture graph is
+// deterministic (Barabási–Albert, fixed seed) and cached as files under the
+// OS temp dir so repeated bench runs skip regeneration.
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+const (
+	benchNodes    = 200_000
+	benchAttach   = 5 // BA attachment factor: ~1M edges
+	benchSeed     = 1337
+	benchDirName  = "graphletrw-gcsr-bench"
+	benchTxtName  = "ba-1m.txt"
+	benchGcsrName = "ba-1m.gcsr"
+)
+
+var benchFixture struct {
+	once sync.Once
+	txt  string
+	gcsr string
+	g    *graph.Graph
+	err  error
+}
+
+// fixture generates the benchmark graph once per process and materializes
+// both on-disk encodings, reusing files from earlier runs when present
+// (contents are deterministic).
+func fixture(b *testing.B) (txt, gcsr string, g *graph.Graph) {
+	b.Helper()
+	f := &benchFixture
+	f.once.Do(func() {
+		dir := filepath.Join(os.TempDir(), benchDirName)
+		if f.err = os.MkdirAll(dir, 0o755); f.err != nil {
+			return
+		}
+		f.txt = filepath.Join(dir, benchTxtName)
+		f.gcsr = filepath.Join(dir, benchGcsrName)
+		f.g = gen.BarabasiAlbert(benchNodes, benchAttach, benchSeed)
+		if _, err := os.Stat(f.txt); err != nil {
+			// Write-then-rename so a concurrent bench process never reads a
+			// half-written edge list (graph.Save is already atomic).
+			tmp := f.txt + ".tmp"
+			if f.err = graph.SaveEdgeList(tmp, f.g); f.err != nil {
+				return
+			}
+			if f.err = os.Rename(tmp, f.txt); f.err != nil {
+				return
+			}
+		}
+		if _, err := os.Stat(f.gcsr); err != nil {
+			if f.err = graph.Save(f.gcsr, f.g); f.err != nil {
+				return
+			}
+		}
+	})
+	if f.err != nil {
+		b.Fatal(f.err)
+	}
+	return f.txt, f.gcsr, f.g
+}
+
+func BenchmarkLoadEdgeList(b *testing.B) {
+	txt, _, _ := fixture(b)
+	b.SetBytes(fileSize(b, txt))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.LoadEdgeList(txt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryLoad(b *testing.B) {
+	_, gcsr, _ := fixture(b)
+	b.SetBytes(fileSize(b, gcsr))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.Load(gcsr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpenMapped(b *testing.B) {
+	_, gcsr, _ := fixture(b)
+	b.SetBytes(fileSize(b, gcsr))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := graph.OpenMapped(gcsr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Close()
+	}
+}
+
+func fileSize(b *testing.B, path string) int64 {
+	st, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st.Size()
+}
+
+// probeTargets picks a hub endpoint (the max-degree node) and a non-hub
+// endpoint, plus a pool of probe partners.
+func probeTargets(b *testing.B, g *graph.Graph) (hub, nonHub int32, partners []int32) {
+	b.Helper()
+	hub = -1
+	best := -1
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if d := g.Degree(v); d > best {
+			best, hub = d, v
+		}
+		if nonHub == 0 && !g.IsHub(v) && g.Degree(v) > 0 {
+			nonHub = v
+		}
+	}
+	if !g.IsHub(hub) {
+		b.Fatalf("max-degree node %d (degree %d) is not a hub", hub, best)
+	}
+	rng := rand.New(rand.NewSource(2))
+	partners = make([]int32, 1024)
+	for i := range partners {
+		partners[i] = int32(rng.Intn(g.NumNodes()))
+	}
+	return hub, nonHub, partners
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	_, _, g := fixture(b)
+	hub, nonHub, partners := probeTargets(b, g)
+	b.Run("hub", func(b *testing.B) {
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			if g.HasEdge(partners[i&1023], hub) {
+				hits++
+			}
+		}
+		sinkInt = hits
+	})
+	b.Run("nonhub", func(b *testing.B) {
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			if g.HasEdge(partners[i&1023], nonHub) {
+				hits++
+			}
+		}
+		sinkInt = hits
+	})
+}
+
+func BenchmarkRandomEdge(b *testing.B) {
+	_, _, g := fixture(b)
+	rng := rand.New(rand.NewSource(3))
+	g.RandomEdge(rng) // build the arc index outside the timed region
+	b.ResetTimer()
+	var s int32
+	for i := 0; i < b.N; i++ {
+		u, v := g.RandomEdge(rng)
+		s += u + v
+	}
+	sinkInt = int(s)
+}
+
+var sinkInt int

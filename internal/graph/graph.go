@@ -1,23 +1,26 @@
 // Package graph provides the undirected simple-graph substrate used by the
 // whole repository: a compact adjacency representation with sorted neighbor
-// lists, O(log d) edge probes, largest-connected-component extraction and
-// edge-list I/O.
+// lists, fast edge probes (O(1) bitset rows for hub nodes, O(log d) binary
+// search otherwise), largest-connected-component extraction, edge-list I/O
+// and a binary CSR on-disk format (.gcsr) with a zero-copy mmap open path.
 //
 // Nodes are dense int32 identifiers in [0, N). Graphs are immutable once
-// built; construction goes through Builder.
+// built; construction goes through Builder, Load or OpenMapped.
 package graph
 
 import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Graph is an immutable undirected simple graph. Neighbor lists are sorted
 // ascending, enabling binary-search edge probes and linear-merge set
 // intersection.
 type Graph struct {
-	// CSR layout: neighbors of v are adj[off[v]:off[v+1]].
+	// CSR layout: neighbors of v are adj[off[v]:off[v+1]]. For graphs opened
+	// with OpenMapped both slices alias the mapped file.
 	off []int64
 	adj []int32
 	m   int64 // number of undirected edges
@@ -25,6 +28,23 @@ type Graph struct {
 	// setup paths (walk-space sizing, ESU scratch allocation) and must not
 	// rescan all nodes per call.
 	maxDeg int
+
+	// Hub acceleration: the highest-degree nodes (within a memory budget,
+	// see buildHubIndex) get a dense adjacency bitset row, turning HasEdge
+	// probes against them into one bit test instead of a binary search.
+	// hubIdx[v] is the row of v, or -1; rows are hubStride words wide.
+	hubIdx    []int32
+	hubRows   []uint64
+	hubStride int
+
+	// arcSrc caches the arc→source-node lookup behind RandomEdge; it is
+	// built lazily on first use (pay-for-use: only edge-sampling workloads
+	// need the extra 4 bytes/arc).
+	arcOnce sync.Once
+	arcSrc  []int32
+
+	// unmap releases the mmap backing of a graph opened with OpenMapped.
+	unmap func() error
 }
 
 // NumNodes returns the number of nodes.
@@ -50,18 +70,111 @@ func (g *Graph) Neighbor(v int32, i int) int32 {
 }
 
 // HasEdge reports whether the undirected edge (u, v) exists. Self loops never
-// exist in a simple graph.
+// exist in a simple graph. The probe is one bit test when either endpoint is
+// a hub, and a binary search of the smaller adjacency list otherwise.
 func (g *Graph) HasEdge(u, v int32) bool {
 	if u == v {
 		return false
 	}
-	// Probe the smaller adjacency list.
+	// Probe the smaller adjacency list; v ends up as the higher-degree
+	// endpoint, the one that can own a hub bitset row.
 	if g.Degree(u) > g.Degree(v) {
 		u, v = v, u
+	}
+	if g.hubIdx != nil {
+		if r := g.hubIdx[v]; r >= 0 {
+			w := g.hubRows[int(r)*g.hubStride+int(u>>6)]
+			return w>>(uint(u)&63)&1 == 1
+		}
 	}
 	n := g.Neighbors(u)
 	i := sort.Search(len(n), func(i int) bool { return n[i] >= v })
 	return i < len(n) && n[i] == v
+}
+
+// hubDegreeFloor is the minimum degree for a hub bitset row: below it the
+// binary search is only a handful of steps and a row would waste memory.
+const hubDegreeFloor = 64
+
+// buildHubIndex assigns dense adjacency bitset rows to the highest-degree
+// nodes, spending at most as many bytes on rows as the adj array itself
+// occupies (with a 1 MiB floor so small graphs index their hubs too). The
+// threshold is chosen from the degree histogram: the smallest degree t >=
+// hubDegreeFloor whose nodes all fit in the budget. Called once from every
+// construction path (Builder.Build, ReadBinary, OpenMapped); the index is a
+// derived in-memory structure, never persisted.
+func (g *Graph) buildHubIndex() {
+	n := g.NumNodes()
+	if n == 0 || g.maxDeg < hubDegreeFloor {
+		return
+	}
+	stride := (n + 63) >> 6
+	rowBytes := stride * 8
+	budget := len(g.adj) * 4
+	if budget < 1<<20 {
+		budget = 1 << 20
+	}
+	maxRows := budget / rowBytes
+	if maxRows == 0 {
+		return
+	}
+	hist := make([]int32, g.maxDeg+1)
+	for v := 0; v < n; v++ {
+		if d := g.Degree(int32(v)); d >= hubDegreeFloor {
+			hist[d]++
+		}
+	}
+	rows, threshold := 0, -1
+	for d := g.maxDeg; d >= hubDegreeFloor; d-- {
+		if rows+int(hist[d]) > maxRows {
+			break
+		}
+		rows += int(hist[d])
+		threshold = d
+	}
+	if threshold < 0 || rows == 0 {
+		return
+	}
+	g.hubStride = stride
+	g.hubRows = make([]uint64, rows*stride)
+	g.hubIdx = make([]int32, n)
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		if g.Degree(int32(v)) < threshold {
+			g.hubIdx[v] = -1
+			continue
+		}
+		g.hubIdx[v] = next
+		row := g.hubRows[int(next)*stride : (int(next)+1)*stride]
+		for _, u := range g.Neighbors(int32(v)) {
+			row[u>>6] |= 1 << (uint(u) & 63)
+		}
+		next++
+	}
+}
+
+// IsHub reports whether v owns an adjacency bitset row (O(1) HasEdge
+// probes). Exposed for tests and benchmarks.
+func (g *Graph) IsHub(v int32) bool {
+	return g.hubIdx != nil && g.hubIdx[v] >= 0
+}
+
+// Mapped reports whether the graph's storage aliases an mmap'd file.
+func (g *Graph) Mapped() bool { return g.unmap != nil }
+
+// Close releases the mmap backing of a graph opened with OpenMapped and is a
+// no-op for heap-backed graphs. A mapped graph must not be used after Close;
+// the internal slices are nilled so use-after-close fails fast instead of
+// faulting on unmapped pages.
+func (g *Graph) Close() error {
+	if g.unmap == nil {
+		return nil
+	}
+	unmap := g.unmap
+	g.unmap = nil
+	g.off, g.adj = nil, nil
+	g.hubIdx, g.hubRows = nil, nil
+	return unmap()
 }
 
 // RandomNode returns a uniformly random node. It panics on an empty graph.
@@ -81,6 +194,8 @@ func (g *Graph) RandomNeighbor(v int32, rng *rand.Rand) (int32, bool) {
 
 // RandomEdge returns a uniformly random undirected edge (u < v). It uses the
 // flattened directed-arc array, so each undirected edge is equally likely.
+// The arc→source lookup table is built on first call, making every
+// subsequent draw O(1) instead of an O(log n) binary search over off.
 func (g *Graph) RandomEdge(rng *rand.Rand) (int32, int32) {
 	if g.m == 0 {
 		panic("graph: RandomEdge on edgeless graph")
@@ -98,8 +213,20 @@ func (g *Graph) RandomEdge(rng *rand.Rand) (int32, int32) {
 
 // arcSource returns the source node of directed arc index a.
 func (g *Graph) arcSource(a int64) int32 {
-	i := sort.Search(len(g.off)-1, func(i int) bool { return g.off[i+1] > a })
-	return int32(i)
+	g.arcOnce.Do(g.buildArcIndex)
+	return g.arcSrc[a]
+}
+
+// buildArcIndex materializes the arc→source table (4 bytes per arc).
+func (g *Graph) buildArcIndex() {
+	src := make([]int32, len(g.adj))
+	for v := 0; v < g.NumNodes(); v++ {
+		lo, hi := g.off[v], g.off[v+1]
+		for a := lo; a < hi; a++ {
+			src[a] = int32(v)
+		}
+	}
+	g.arcSrc = src
 }
 
 // Edges calls fn for every undirected edge (u < v). Iteration stops early if
@@ -126,10 +253,34 @@ func (g *Graph) String() string {
 	return fmt.Sprintf("graph{n=%d m=%d}", g.NumNodes(), g.m)
 }
 
-// CommonNeighbors returns the number of common neighbors of u and v using a
-// linear merge of the two sorted lists.
+// gallopSkew is the length ratio beyond which CommonNeighbors switches from
+// the linear merge to galloping search: with |b| >> |a| the merge is
+// O(|a|+|b|) while galloping is O(|a| log(|b|/|a|)).
+const gallopSkew = 16
+
+// CommonNeighbors returns the number of common neighbors of u and v: a
+// linear merge of the two sorted lists, or galloping search of the longer
+// list when the lengths are skewed.
 func (g *Graph) CommonNeighbors(u, v int32) int {
 	a, b := g.Neighbors(u), g.Neighbors(v)
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b) >= gallopSkew*len(a) {
+		c := 0
+		lo := 0
+		for _, x := range a {
+			lo += gallopSearch(b[lo:], x)
+			if lo >= len(b) {
+				break
+			}
+			if b[lo] == x {
+				c++
+				lo++
+			}
+		}
+		return c
+	}
 	i, j, c := 0, 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -146,10 +297,27 @@ func (g *Graph) CommonNeighbors(u, v int32) int {
 	return c
 }
 
-// CommonNeighborsInto appends the common neighbors of u and v to dst and
-// returns the extended slice.
+// CommonNeighborsInto appends the common neighbors of u and v to dst (in
+// ascending order) and returns the extended slice.
 func (g *Graph) CommonNeighborsInto(dst []int32, u, v int32) []int32 {
 	a, b := g.Neighbors(u), g.Neighbors(v)
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b) >= gallopSkew*len(a) {
+		lo := 0
+		for _, x := range a {
+			lo += gallopSearch(b[lo:], x)
+			if lo >= len(b) {
+				break
+			}
+			if b[lo] == x {
+				dst = append(dst, x)
+				lo++
+			}
+		}
+		return dst
+	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -164,6 +332,33 @@ func (g *Graph) CommonNeighborsInto(dst []int32, u, v int32) []int32 {
 		}
 	}
 	return dst
+}
+
+// gallopSearch returns the index of the first element of b >= x, probing
+// exponentially from the front and binary-searching the final window — O(log
+// k) where k is the returned index, which is what makes skewed intersections
+// cheap when consecutive probes land close together.
+func gallopSearch(b []int32, x int32) int {
+	if len(b) == 0 || b[0] >= x {
+		return 0
+	}
+	hi := 1
+	for hi < len(b) && b[hi] < x {
+		hi <<= 1
+	}
+	lo := hi >> 1
+	if hi > len(b) {
+		hi = len(b)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // DegreeHistogram returns a map from degree to the number of nodes with that

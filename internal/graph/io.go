@@ -2,19 +2,27 @@ package graph
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 )
 
+// maxLineBytes is the longest edge-list line ReadEdgeList accepts. Anything
+// longer is almost certainly not a plain "u v" edge list.
+const maxLineBytes = 1 << 20
+
 // ReadEdgeList parses a whitespace-separated edge list ("u v" per line).
-// Lines starting with '#' or '%' are comments. Node IDs may be arbitrary
-// non-negative integers; they are compacted to a dense range.
+// Lines starting with '#' or '%' are comments; fields beyond the first two
+// are ignored. Node IDs may be arbitrary non-negative integers; they are
+// compacted to a dense range.
+//
+// The per-line scanning is allocation-free (manual field splitting and
+// integer parsing on the scanner's byte buffer), which is what keeps parsing
+// multi-million-edge lists I/O-bound.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
 	remap := make(map[int64]int32)
 	id := func(x int64) int32 {
 		if v, ok := remap[x]; ok {
@@ -28,28 +36,84 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || line[0] == '#' || line[0] == '%' {
+		line := sc.Bytes()
+		i := skipSpace(line, 0)
+		if i == len(line) || line[i] == '#' || line[i] == '%' {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
+		u, i, err := scanInt(line, i, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		i = skipSpace(line, i)
+		if i == len(line) {
 			return nil, fmt.Errorf("graph: line %d: expected two fields, got %q", lineNo, line)
 		}
-		u, err := strconv.ParseInt(fields[0], 10, 64)
+		v, _, err := scanInt(line, i, lineNo)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
-		}
-		v, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			return nil, err
 		}
 		b.AddEdge(id(u), id(v))
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("graph: line %d: line exceeds the %d-byte limit (%v); input is not a plain edge list — binary graphs use the .gcsr format (see graph.Load)", lineNo+1, maxLineBytes, err)
+		}
 		return nil, err
 	}
 	return b.Build(), nil
+}
+
+// skipSpace returns the index of the first non-whitespace byte at or after i.
+func skipSpace(b []byte, i int) int {
+	for i < len(b) {
+		switch b[i] {
+		case ' ', '\t', '\r', '\v', '\f':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// scanInt parses a decimal int64 starting at b[i], stopping at whitespace or
+// end of line. It mirrors strconv.ParseInt's base-10 semantics (optional
+// sign, overflow detection) without allocating.
+func scanInt(b []byte, i, lineNo int) (int64, int, error) {
+	start := i
+	neg := false
+	if i < len(b) && (b[i] == '-' || b[i] == '+') {
+		neg = b[i] == '-'
+		i++
+	}
+	const cutoff = (1<<63 - 1) / 10
+	var x int64
+	digits := 0
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f' {
+			break
+		}
+		if c < '0' || c > '9' {
+			return 0, i, fmt.Errorf("graph: line %d: bad integer %q", lineNo, b[start:i+1])
+		}
+		if x > cutoff {
+			return 0, i, fmt.Errorf("graph: line %d: integer %q overflows int64", lineNo, b[start:])
+		}
+		x = x*10 + int64(c-'0')
+		if x < 0 {
+			return 0, i, fmt.Errorf("graph: line %d: integer %q overflows int64", lineNo, b[start:])
+		}
+		digits++
+	}
+	if digits == 0 {
+		return 0, i, fmt.Errorf("graph: line %d: bad integer %q", lineNo, b[start:i])
+	}
+	if neg {
+		x = -x
+	}
+	return x, i, nil
 }
 
 // LoadEdgeList reads an edge-list file from disk.

@@ -4,6 +4,11 @@ package graph
 // graph with densely renumbered nodes, mirroring the paper's preprocessing
 // ("we only retain the largest connected component"). It returns the new
 // graph and the mapping from new node IDs to original node IDs.
+//
+// A connected graph is returned as-is with the identity mapping: rebuilding
+// it through Builder would produce a byte-identical copy (renumbering
+// preserves node order), so skipping the rebuild keeps results unchanged
+// while preserving zero-copy storage for graphs opened with OpenMapped.
 func LargestComponent(g *Graph) (*Graph, []int32) {
 	n := g.NumNodes()
 	comp := make([]int32, n)
@@ -40,6 +45,15 @@ func LargestComponent(g *Graph) (*Graph, []int32) {
 			bestSize = size
 			bestID = id
 		}
+	}
+	// Connected (or empty) graph: hand it back unchanged with the identity
+	// mapping — the single labeling pass doubles as the connectivity check.
+	if next <= 1 {
+		toOld := make([]int32, n)
+		for v := range toOld {
+			toOld[v] = int32(v)
+		}
+		return g, toOld
 	}
 	// Renumber nodes of the best component.
 	newID := make([]int32, n)

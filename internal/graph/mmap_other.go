@@ -1,0 +1,9 @@
+//go:build !unix
+
+package graph
+
+// OpenMapped falls back to the portable Load path on platforms without
+// syscall.Mmap; the returned graph is heap-backed and Close is a no-op.
+func OpenMapped(path string) (*Graph, error) {
+	return Load(path)
+}

@@ -85,15 +85,32 @@ func (r *Registry) AddDataset(name string) error {
 	return r.Add(name, "dataset", d.Graph())
 }
 
-// AddFile loads an edge list from path, extracts its largest connected
-// component (the paper's preprocessing), and registers it under name.
+// AddFile loads a graph file from path, extracts its largest connected
+// component (the paper's preprocessing), and registers it under name. The
+// format is detected automatically: .gcsr binary CSR files (produced by
+// graphlet-pack) are opened via the zero-copy mmap path, so daemon start is
+// near-instant and resident pages are shared with other processes mapping
+// the same file; anything else is parsed as a text edge list. A pre-packed
+// connected graph (graphlet-pack's default -lcc output) is served directly
+// from the mapping; a disconnected one is rebuilt on the heap by the LCC
+// extraction.
 func (r *Registry) AddFile(name, path string) error {
-	loaded, err := graph.LoadEdgeList(path)
+	format := graph.DetectFormat(path)
+	loaded, err := graph.OpenFile(path, format)
 	if err != nil {
 		return fmt.Errorf("service: graph %q: %w", name, err)
 	}
 	lcc, _ := graph.LargestComponent(loaded)
-	return r.Add(name, "file", lcc)
+	source := "file"
+	if format == graph.FormatGCSR {
+		source = "gcsr"
+		if lcc != loaded {
+			// The mapping holds the full graph but only the rebuilt heap
+			// LCC is served; release the mapped pages.
+			defer loaded.Close()
+		}
+	}
+	return r.Add(name, source, lcc)
 }
 
 // Get returns the graph registered under name.
