@@ -1,12 +1,22 @@
 // Command graphletd is the multi-graph estimation daemon: it registers named
 // graphs (stand-in datasets and/or edge-list files), then serves asynchronous
-// graphlet-concentration estimation jobs over HTTP with live progress, an
-// LRU result cache, single-flight coalescing of identical requests, and a
-// worker pool bounded so job parallelism × walkers stays at GOMAXPROCS.
+// graphlet-concentration estimation jobs over HTTP with live progress (poll
+// or server-sent events), priority-class scheduling (interactive > batch >
+// background under weighted deficit accounting), an LRU result cache,
+// single-flight coalescing of identical requests, and a worker pool bounded
+// so job parallelism × walkers stays at GOMAXPROCS.
 //
 //	graphletd -datasets brightkite,epinion -addr 127.0.0.1:9090
 //	graphletd -graph social=edges.txt -workers 2 -max-walkers 4
 //	graphletd -graph social=social.gcsr   # packed binary CSR, opened via mmap
+//	graphletd -graph social=edges.txt -data-dir /var/lib/graphletd
+//
+// With -data-dir the daemon is durable: every job transition is appended to
+// a CRC-checksummed journal under <data-dir>/journal, and a restart replays
+// it — completed results are served from the warmed cache without
+// re-running, and jobs that were queued or running at the crash re-queue
+// and finish. Without it the job table is in-memory only (the pre-journal
+// behavior).
 //
 // -graph accepts text edge lists and .gcsr binary CSR files (see
 // cmd/graphlet-pack); .gcsr files open zero-copy through mmap — one
@@ -19,9 +29,11 @@
 // Submit and poll with curl:
 //
 //	curl -s -X POST localhost:9090/v1/jobs -d \
-//	  '{"graph":"epinion","k":4,"d":2,"css":true,"steps":20000,"walkers":4,"seed":1}'
+//	  '{"graph":"epinion","k":4,"d":2,"css":true,"steps":20000,"walkers":4,"seed":1,"priority":"interactive"}'
 //	curl -s localhost:9090/v1/jobs/j-1
+//	curl -sN localhost:9090/v1/jobs/j-1/events     # SSE progress stream
 //	curl -s -X DELETE localhost:9090/v1/jobs/j-1   # cancel
+//	curl -s -X DELETE localhost:9090/v1/graphs/epinion   # unregister + purge cache
 package main
 
 import (
@@ -47,6 +59,8 @@ func main() {
 		cacheSize  = flag.Int("cache", 256, "result-cache capacity (negative disables)")
 		snapshot   = flag.Int("snapshot-every", 0, "progress checkpoint spacing in windows (0 = auto)")
 		latency    = flag.Duration("latency", 0, "simulated per-call API latency (crawl modeling)")
+		dataDir    = flag.String("data-dir", "", "durability directory: journal job history here, replay it on start (empty = volatile)")
+		fsync      = flag.Bool("fsync", false, "fsync every journal append (with -data-dir)")
 	)
 	flag.Var(&graphFlags, "graph", "name=path graph to register, edge list or .gcsr (repeatable)")
 	flag.Parse()
@@ -79,18 +93,27 @@ func main() {
 		MaxWalkers:    *maxWalkers,
 		CacheSize:     *cacheSize,
 		SnapshotEvery: *snapshot,
+		DataDir:       *dataDir,
+		Fsync:         *fsync,
 	}
 	if *latency > 0 {
 		opts.NewClient = func(g *graph.Graph) access.Client {
 			return access.NewDelayed(access.NewGraphClient(g), *latency)
 		}
 	}
-	mgr := service.NewManager(reg, opts)
+	mgr, err := service.NewManager(reg, opts)
+	if err != nil {
+		fail(err)
+	}
 	defer mgr.Close()
 
 	st := mgr.Stats()
 	fmt.Printf("graphletd: %d graph(s), %d worker(s), walker cap %d, cache %d results\n",
 		st.GraphsCount, st.Workers, st.MaxWalkers, *cacheSize)
+	if *dataDir != "" {
+		fmt.Printf("  journal %s: %d segment(s), %d job(s) re-queued, %d result(s) warmed\n",
+			*dataDir, st.JournalSegments, st.RecoveredJobs, st.WarmedResults)
+	}
 	for _, info := range reg.List() {
 		fmt.Printf("  graph %-12s %8d nodes %9d edges (max degree %d, %s)\n",
 			info.Name, info.Nodes, info.Edges, info.MaxDegree, info.Source)

@@ -24,6 +24,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/access"
@@ -232,15 +233,15 @@ func (e *Estimator) RunCheckpoints(n, every int, fn func(step int, conc []float6
 	return e.RunCheckpointsCtx(context.Background(), n, every, fn)
 }
 
-// RunCheckpointsCtx is RunCheckpoints with cooperative cancellation: the
-// context is checked at every checkpoint barrier (before the first stage and
-// after each snapshot), and a cancelled run stops there instead of consuming
-// the rest of its window budget. On cancellation it returns the merged
-// Result accumulated so far alongside ctx.Err(), so callers can report
-// partial progress. Cancellation granularity is the barrier spacing: with
-// fn == nil and every <= 0 the whole budget is one stage and a mid-stage
-// cancel is only observed at the end — long-running callers that need
-// responsive cancellation should pass a positive `every`.
+// RunCheckpointsCtx is RunCheckpoints with cooperative, step-granular
+// cancellation: each walker polls the context every cancelCheckEvery windows
+// inside its stage (and the ensemble checks it again at every checkpoint
+// barrier), so a cancel stops the run within a few hundred transitions even
+// when the whole budget is a single barrier-free stage. On cancellation it
+// returns the merged Result accumulated so far alongside ctx.Err(), so
+// callers can report partial progress. The cancellation polls touch no
+// walker state, so runs that complete are byte-identical to RunCheckpoints
+// at any GOMAXPROCS.
 func (e *Estimator) RunCheckpointsCtx(ctx context.Context, n, every int, fn func(step int, conc []float64)) (*Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: non-positive sample budget %d", n)
@@ -254,14 +255,19 @@ func (e *Estimator) RunCheckpointsCtx(ctx context.Context, n, every int, fn func
 		wk.ensureSeeded()
 	}
 	prev := 0
-	for _, target := range checkpointTargets(n, every, fn != nil || ctx.Done() != nil) {
+	for _, target := range checkpointTargets(n, every, fn != nil) {
 		if err := ctx.Err(); err != nil {
 			return e.merged(), err
 		}
 		lo, hi := prev, target
 		if err := runStage(nw, func(i int) error {
-			return e.walkers[i].run(walkerQuota(hi, nw, i) - walkerQuota(lo, nw, i))
+			return e.walkers[i].run(ctx, walkerQuota(hi, nw, i)-walkerQuota(lo, nw, i))
 		}); err != nil {
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				// A mid-stage cancel: the partial accumulators are intact and
+				// their merge reports the windows actually processed.
+				return e.merged(), err
+			}
 			return nil, err
 		}
 		prev = target

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/gen"
@@ -61,6 +62,39 @@ func TestRunCheckpointsCtxPreCancelled(t *testing.T) {
 	}
 	if res == nil || res.Steps != 0 {
 		t.Fatalf("pre-cancelled run processed %v steps", res)
+	}
+}
+
+// Step-granular cancellation: with no snapshot callback the whole budget is
+// one barrier-free stage, yet the walkers' in-stage context polls stop the
+// run well before the budget is consumed — previously a mid-stage cancel was
+// only observed at the next checkpoint barrier, which for a barrier-free run
+// meant the very end.
+func TestStepGranularCancellation(t *testing.T) {
+	g := gen.HolmeKim(300, 3, 0.5, 42)
+	// Slow the crawl so the budget takes far longer than the test: without
+	// step-granular stops this run would take minutes.
+	client := access.NewDelayed(access.NewGraphClient(g), 20*time.Microsecond)
+	est, err := NewEstimator(client, Config{K: 4, D: 2, Seed: 11, Walkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	const budget = 10_000_000
+	start := time.Now()
+	res, err := est.RunCheckpointsCtx(ctx, budget, 0, nil) // no barriers at all
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Steps == 0 || res.Steps >= budget {
+		t.Fatalf("partial result %+v, want Steps in (0, %d)", res, budget)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancel took %v to stop a barrier-free stage", elapsed)
 	}
 }
 

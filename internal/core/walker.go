@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -92,10 +93,28 @@ func (wk *walker) ensureSeeded() {
 	}
 }
 
-// run processes `count` windows into the walker's private Result.
-func (wk *walker) run(count int) error {
+// cancelCheckEvery is the step granularity of cooperative cancellation: a
+// walker polls its context once per this many windows, so a cancel stops a
+// run within a few hundred transitions even when the whole budget is one
+// barrier-free stage (e.g. a very slow crawl with no snapshot callback).
+// The poll touches no walker state — no RNG draw, no window mutation — so
+// runs that are not cancelled stay byte-identical to the unpolled engine.
+const cancelCheckEvery = 256
+
+// run processes `count` windows into the walker's private Result, polling
+// ctx every cancelCheckEvery windows. A nil-Done context (context.Background)
+// is never polled, keeping the hot loop overhead-free for plain Run calls.
+func (wk *walker) run(ctx context.Context, count int) error {
 	wk.start()
+	done := ctx.Done()
 	for j := 0; j < count; j++ {
+		if done != nil && j%cancelCheckEvery == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		if err := wk.accumulate(wk.res); err != nil {
 			return err
 		}

@@ -1,0 +1,31 @@
+//go:build linux
+
+package graph
+
+import "syscall"
+
+// adviseMapped tunes kernel paging for a freshly validated .gcsr mapping.
+// The walk workload probes the adj array at random row offsets (neighbor
+// lookups follow the walk, not the file order), so default sequential
+// readahead on it wastes memory bandwidth pulling pages the walk never
+// touches — MADV_RANDOM disables it. The off array, by contrast, is tiny
+// relative to adj, consulted on every single probe (row bounds), and worth
+// having resident up front — MADV_WILLNEED prefetches it.
+//
+// offEnd is the mapping offset one past the off array (header + off bytes).
+// madvise requires page-aligned starts: the WILLNEED region starts at the
+// mapping base (page-aligned by mmap), and the RANDOM region starts at
+// offEnd rounded up, leaving the boundary page under WILLNEED — the right
+// call for a page holding the hot off array's tail. Advice is best-effort;
+// errors are ignored (the mapping works identically without it).
+func adviseMapped(data []byte, offEnd int) {
+	page := syscall.Getpagesize()
+	if offEnd > len(data) {
+		offEnd = len(data)
+	}
+	_ = syscall.Madvise(data[:offEnd], syscall.MADV_WILLNEED)
+	adjStart := (offEnd + page - 1) &^ (page - 1)
+	if adjStart < len(data) {
+		_ = syscall.Madvise(data[adjStart:], syscall.MADV_RANDOM)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package graph
+
+// adviseMapped is a no-op on platforms whose standard syscall package has
+// no Madvise (darwin dropped it; x/sys/unix is out of scope as a
+// dependency); the mapping works identically, just without paging hints.
+func adviseMapped(data []byte, offEnd int) {}

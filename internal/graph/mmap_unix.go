@@ -54,6 +54,10 @@ func OpenMapped(path string) (*Graph, error) {
 		syscall.Munmap(data)
 		return nil, fmt.Errorf("graph: %s: %w", path, err)
 	}
+	// Advise after validation: the open-time checksum pass is sequential and
+	// benefits from default readahead; the walk accesses that follow are
+	// random over adj and hot over off.
+	adviseMapped(data, gcsrHeaderSize+int((int64(g.NumNodes())+1)*8))
 	g.unmap = func() error { return syscall.Munmap(data) }
 	return g, nil
 }

@@ -7,30 +7,39 @@ import (
 )
 
 // resultCache is an LRU cache of completed estimation results keyed by the
-// full Spec. Caching whole results is sound because the engine is
+// full Spec key. Caching whole results is sound because the engine is
 // deterministic: equal Config and Seed produce byte-identical merged
 // Results at any GOMAXPROCS, so a cached entry is indistinguishable from a
 // re-run. Partial (cancelled/failed) results are never cached.
+//
+// Each entry remembers the job that produced it (its owner). Journal
+// compaction consults the owner set so a result's on-disk record survives
+// for as long as its cache entry does — even after the producing job is
+// pruned from the bounded job table — which is what keeps the cache warm
+// across restarts.
 //
 // The cache is not internally locked; the Manager serializes access under
 // its own mutex, which also keeps cache lookups atomic with the in-flight
 // coalescing map (a spec must never be both cached and in flight).
 type resultCache struct {
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[Spec]*list.Element
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[Spec]*list.Element
+	owners map[string]*list.Element // producing job ID -> its live entry
 }
 
 type cacheEntry struct {
-	spec Spec
-	res  *core.Result
+	spec  Spec
+	res   *core.Result
+	owner string
 }
 
 func newResultCache(capacity int) *resultCache {
 	return &resultCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[Spec]*list.Element),
+		cap:    capacity,
+		ll:     list.New(),
+		items:  make(map[Spec]*list.Element),
+		owners: make(map[string]*list.Element),
 	}
 }
 
@@ -44,23 +53,59 @@ func (c *resultCache) get(spec Spec) (*core.Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
-// put inserts (or refreshes) spec's result, evicting the least recently
-// used entry when over capacity.
-func (c *resultCache) put(spec Spec, res *core.Result) {
+// put inserts (or refreshes) spec's result as produced by job owner,
+// evicting the least recently used entry when over capacity.
+func (c *resultCache) put(spec Spec, res *core.Result, owner string) {
 	if c.cap <= 0 {
 		return
 	}
 	if el, ok := c.items[spec]; ok {
-		el.Value.(*cacheEntry).res = res
+		entry := el.Value.(*cacheEntry)
+		delete(c.owners, entry.owner)
+		entry.res, entry.owner = res, owner
+		if owner != "" {
+			c.owners[owner] = el
+		}
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[spec] = c.ll.PushFront(&cacheEntry{spec: spec, res: res})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).spec)
+	el := c.ll.PushFront(&cacheEntry{spec: spec, res: res, owner: owner})
+	c.items[spec] = el
+	if owner != "" {
+		c.owners[owner] = el
 	}
+	for c.ll.Len() > c.cap {
+		c.removeElement(c.ll.Back())
+	}
+}
+
+// ownsJob reports whether the job's result still backs a live cache entry.
+func (c *resultCache) ownsJob(jobID string) bool {
+	_, ok := c.owners[jobID]
+	return ok
+}
+
+// dropGraph removes every entry keyed to the named graph (the graph was
+// unregistered; its results must not outlive it) and reports how many were
+// purged.
+func (c *resultCache) dropGraph(name string) int {
+	purged := 0
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if el.Value.(*cacheEntry).spec.Graph == name {
+			c.removeElement(el)
+			purged++
+		}
+	}
+	return purged
+}
+
+func (c *resultCache) removeElement(el *list.Element) {
+	entry := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, entry.spec)
+	delete(c.owners, entry.owner)
 }
 
 func (c *resultCache) len() int { return c.ll.Len() }

@@ -11,15 +11,26 @@ import (
 //
 // Endpoints (JSON):
 //
-//	GET    /v1/graphs            -> {"graphs":[{name,source,nodes,edges,max_degree}...]}
-//	GET    /v1/graphs/{name}     -> one GraphInfo
-//	POST   /v1/jobs              -> submit a Spec; 202 + JobView (200 when a
-//	                                cache hit answers it instantly)
-//	GET    /v1/jobs              -> all jobs in submission order
-//	GET    /v1/jobs/{id}         -> one JobView with live progress
-//	DELETE /v1/jobs/{id}         -> cancel; the walker ensemble stops at its
-//	                                next checkpoint barrier
-//	GET    /v1/stats             -> service counters (runs, cache hits, ...)
+//	GET    /v1/graphs             -> {"graphs":[{name,source,nodes,edges,max_degree}...]}
+//	GET    /v1/graphs/{name}      -> one GraphInfo
+//	DELETE /v1/graphs/{name}      -> unregister the graph and purge its cached
+//	                                 results; queued jobs against it fail
+//	                                 cleanly at dispatch
+//	POST   /v1/jobs               -> submit a Spec (optional "priority":
+//	                                 interactive|batch|background); 202 +
+//	                                 JobView (200 when a cache hit answers it
+//	                                 instantly)
+//	GET    /v1/jobs               -> all jobs in submission order
+//	GET    /v1/jobs/{id}          -> one JobView with live progress
+//	GET    /v1/jobs/{id}/events   -> server-sent events: a "snapshot" event,
+//	                                 then "checkpoint" events at every
+//	                                 progress barrier, then the terminal
+//	                                 event ("done"/"failed"/"canceled");
+//	                                 each data line is a JobEvent's JobView
+//	DELETE /v1/jobs/{id}          -> cancel; running walkers stop within a
+//	                                 few hundred transitions
+//	GET    /v1/stats              -> service counters (runs, cache hits,
+//	                                 queue depths by class, journal state...)
 type Server struct {
 	reg *Registry
 	mgr *Manager
@@ -36,24 +47,47 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case path == "/v1/graphs" && r.Method == http.MethodGet:
 		writeJSON(w, http.StatusOK, map[string]any{"graphs": s.reg.List()})
-	case strings.HasPrefix(path, "/v1/graphs/") && r.Method == http.MethodGet:
-		name := strings.TrimPrefix(path, "/v1/graphs/")
+	case strings.HasPrefix(path, "/v1/graphs/"):
+		s.graph(w, r, strings.TrimPrefix(path, "/v1/graphs/"))
+	case path == "/v1/jobs" && r.Method == http.MethodPost:
+		s.submit(w, r)
+	case path == "/v1/jobs" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		rest := strings.TrimPrefix(path, "/v1/jobs/")
+		if id, ok := strings.CutSuffix(rest, "/events"); ok && r.Method == http.MethodGet {
+			s.events(w, r, id)
+			return
+		}
+		s.job(w, r, rest)
+	case path == "/v1/stats" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, s.mgr.Stats())
+	default:
+		writeError(w, http.StatusNotFound, "not found")
+	}
+}
+
+// graph dispatches GET (introspect) and DELETE (unregister) for one graph.
+func (s *Server) graph(w http.ResponseWriter, r *http.Request, name string) {
+	switch r.Method {
+	case http.MethodGet:
 		info, ok := s.reg.Info(name)
 		if !ok {
 			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
 			return
 		}
 		writeJSON(w, http.StatusOK, info)
-	case path == "/v1/jobs" && r.Method == http.MethodPost:
-		s.submit(w, r)
-	case path == "/v1/jobs" && r.Method == http.MethodGet:
-		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
-	case strings.HasPrefix(path, "/v1/jobs/"):
-		s.job(w, r, strings.TrimPrefix(path, "/v1/jobs/"))
-	case path == "/v1/stats" && r.Method == http.MethodGet:
-		writeJSON(w, http.StatusOK, s.mgr.Stats())
+	case http.MethodDelete:
+		// Remove first so new submissions fail validation, then purge the
+		// cache so a future re-bind of the name cannot serve stale results.
+		if !s.reg.Remove(name) {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
+			return
+		}
+		purged := s.mgr.DropGraph(name)
+		writeJSON(w, http.StatusOK, map[string]any{"removed": name, "purged_results": purged})
 	default:
-		writeError(w, http.StatusNotFound, "not found")
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 	}
 }
 
@@ -98,6 +132,63 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request, id string) {
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 	}
+}
+
+// events streams a job's lifecycle as server-sent events until the job
+// reaches a terminal state or the client disconnects. Slow consumers may
+// miss intermediate checkpoints (their buffers overflow and snapshots are
+// dropped); the terminal event is always delivered.
+func (s *Server) events(w http.ResponseWriter, r *http.Request, id string) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	events, unsub, err := s.mgr.Subscribe(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	defer unsub()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	lastType := ""
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				// Stream over. If the buffer overflowed past the terminal
+				// event, fetch and deliver the final state explicitly.
+				if !State(lastType).terminal() {
+					if view, ok := s.mgr.Get(id); ok && view.State.terminal() {
+						writeSSE(w, JobEvent{Type: string(view.State), Job: view})
+						flusher.Flush()
+					}
+				}
+				return
+			}
+			writeSSE(w, ev)
+			flusher.Flush()
+			lastType = ev.Type
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one JobEvent as an SSE frame: the event line carries the
+// type, the data line the JobView.
+func writeSSE(w http.ResponseWriter, ev JobEvent) {
+	body, err := json.Marshal(ev.Job)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

@@ -4,19 +4,22 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/service/journal"
 	"repro/internal/stats"
 )
 
-// Spec is a complete, comparable description of one estimation request. It
-// doubles as the result-cache and coalescing key: two submissions with equal
-// Specs are answered by one run, which is exact (not approximate) because
-// the engine is deterministic in (Config, Seed).
+// Spec is a complete, comparable description of one estimation request.
+// Stripped of its Priority (see key), it doubles as the result-cache and
+// coalescing key: two submissions with equal keys are answered by one run,
+// which is exact (not approximate) because the engine is deterministic in
+// (Config, Seed).
 type Spec struct {
 	Graph   string `json:"graph"`
 	K       int    `json:"k"`
@@ -26,6 +29,20 @@ type Spec struct {
 	Steps   int    `json:"steps"`
 	Walkers int    `json:"walkers"`
 	Seed    int64  `json:"seed"`
+	// Priority selects the scheduling class ("interactive", "batch" or
+	// "background"; empty means batch). It deliberately does not affect the
+	// result — only when it is computed — so it is excluded from the cache
+	// and coalescing key.
+	Priority Priority `json:"priority,omitempty"`
+}
+
+// key strips the scheduling class, leaving exactly the fields that
+// determine the result bytes. All cache and single-flight lookups go
+// through it, so an interactive re-ask of a background job's spec is a
+// cache hit, not a second run.
+func (s Spec) key() Spec {
+	s.Priority = ""
+	return s
 }
 
 // config maps the spec onto the engine configuration.
@@ -72,9 +89,11 @@ type job struct {
 	cached    bool
 	coalesced int // number of submissions answered by this run
 	created   time.Time
+	started   time.Time
 	finished  time.Time
 	cancel    context.CancelFunc
-	done      chan struct{} // closed on reaching a terminal state
+	done      chan struct{}   // closed on reaching a terminal state
+	subs      []chan JobEvent // live event streams (SSE); closed on finish
 }
 
 // JobView is the immutable client-facing snapshot of a job.
@@ -89,6 +108,22 @@ type JobView struct {
 	Cached bool `json:"cached"`
 	// Coalesced counts submissions sharing this run (1 = no sharing).
 	Coalesced int `json:"coalesced"`
+	// CreatedAt/StartedAt/FinishedAt trace the job through the queue; the
+	// gap between the first two is its queue wait (the scheduler's
+	// fairness metric).
+	CreatedAt  time.Time `json:"created_at,omitzero"`
+	StartedAt  time.Time `json:"started_at,omitzero"`
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+}
+
+// JobEvent is one element of a job's event stream (the SSE endpoint and
+// any in-process subscriber): a full snapshot tagged with why it was
+// emitted.
+type JobEvent struct {
+	// Type is "snapshot" (subscription opening), "checkpoint" (progress
+	// update), or the terminal state ("done", "failed", "canceled").
+	Type string  `json:"type"`
+	Job  JobView `json:"job"`
 }
 
 // JobResult renders a completed estimation.
@@ -112,6 +147,18 @@ type Stats struct {
 	QueueDepth  int `json:"queue_depth"`  // jobs waiting for a worker
 	ActiveJobs  int `json:"active_jobs"`  // jobs currently running
 	GraphsCount int `json:"graphs_count"` // registered graphs
+
+	// QueueByClass breaks the backlog down by priority class.
+	QueueByClass map[string]int `json:"queue_by_class,omitempty"`
+	// RecoveredJobs counts jobs re-queued by journal replay at startup.
+	RecoveredJobs int `json:"recovered_jobs"`
+	// WarmedResults counts cache entries restored from the journal.
+	WarmedResults int `json:"warmed_results"`
+	// JournalSegments is the on-disk segment count (0 without -data-dir).
+	JournalSegments int `json:"journal_segments,omitempty"`
+	// JournalErrors counts append/compact failures (the daemon keeps
+	// serving from memory; nonzero here means durability is degraded).
+	JournalErrors int `json:"journal_errors,omitempty"`
 }
 
 // Options tunes the Manager. The zero value gets production defaults.
@@ -127,17 +174,32 @@ type Options struct {
 	// disables caching.
 	CacheSize int
 	// SnapshotEvery is the checkpoint spacing in windows for progress
-	// snapshots and cancellation barriers. 0 derives ~64 checkpoints per
-	// job (min 250 windows apart).
+	// snapshots and journal checkpoint records. 0 derives ~64 checkpoints
+	// per job (min 250 windows apart).
 	SnapshotEvery int
-	// QueueCap bounds the admission queue; Submit fails once it is full.
-	// 0 means 1024.
+	// QueueCap bounds the admission backlog across all priority classes;
+	// Submit fails once it is full. 0 means 1024.
 	QueueCap int
 	// MaxJobs bounds retained job records: beyond it, the oldest terminal
 	// jobs (completed runs, instant cache hits) are evicted from the table,
 	// so a long-running daemon's memory does not grow with request count.
 	// Evicted job IDs answer 404 on later polls. 0 means 4096.
 	MaxJobs int
+	// DataDir enables durability: the job journal lives under
+	// DataDir/journal, is replayed on startup (rebuilding the job table,
+	// warming the result cache, re-queuing interrupted jobs), and records
+	// every lifecycle transition from then on. Empty keeps the pre-PR-4
+	// volatile behavior.
+	DataDir string
+	// SegmentBytes is the journal's segment-rotation threshold (0 = 4 MiB).
+	SegmentBytes int64
+	// Fsync forces every journal append to disk. Off by default: appends
+	// survive a process crash either way; only power loss can drop a tail,
+	// which reopen truncates cleanly.
+	Fsync bool
+	// CompactSegments triggers journal compaction once the log spans more
+	// than this many segments. 0 means 8.
+	CompactSegments int
 	// NewClient builds the access client for a job's graph. nil means the
 	// in-memory access.NewGraphClient. Tests and latency modeling inject
 	// wrappers (access.NewDelayed, access.NewCounting) here.
@@ -166,6 +228,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 4096
 	}
+	if o.CompactSegments <= 0 {
+		o.CompactSegments = 8
+	}
 	if o.NewClient == nil {
 		o.NewClient = func(g *graph.Graph) access.Client { return access.NewGraphClient(g) }
 	}
@@ -173,31 +238,38 @@ func (o Options) withDefaults() Options {
 }
 
 // Manager owns the job lifecycle: admission, coalescing, caching, the
-// bounded worker pool, progress snapshots, and cancellation. All methods
-// are safe for concurrent use.
+// priority scheduler and its bounded worker pool, progress snapshots and
+// event streams, journaling, and cancellation. All methods are safe for
+// concurrent use.
 type Manager struct {
 	reg  *Registry
 	opts Options
 
-	mu        sync.Mutex
-	jobs      map[string]*job
-	order     []string      // submission order, for List
-	inflight  map[Spec]*job // non-terminal job per spec (single flight)
-	cache     *resultCache
-	nextID    int
-	runs      int
-	cacheHits int
-	coalesced int
-	active    int
-	closed    bool
+	mu          sync.Mutex
+	jobs        map[string]*job
+	order       []string      // submission order, for List
+	inflight    map[Spec]*job // non-terminal job per spec key (single flight)
+	cache       *resultCache
+	jnl         *journal.Log
+	sched       *scheduler
+	nextID      int
+	runs        int
+	cacheHits   int
+	coalesced   int
+	active      int
+	recovered   int
+	warmed      int
+	journalErrs int
+	replaying   bool
+	closed      bool
 
-	queue chan *job
-	wg    sync.WaitGroup
+	wg sync.WaitGroup
 }
 
-// NewManager starts the worker pool and returns the manager. Call Close to
-// stop it.
-func NewManager(reg *Registry, opts Options) *Manager {
+// NewManager opens the journal (when Options.DataDir is set), replays it to
+// recover pre-crash state, starts the worker pool, and returns the manager.
+// Call Close to stop it.
+func NewManager(reg *Registry, opts Options) (*Manager, error) {
 	opts = opts.withDefaults()
 	m := &Manager{
 		reg:      reg,
@@ -205,17 +277,31 @@ func NewManager(reg *Registry, opts Options) *Manager {
 		jobs:     make(map[string]*job),
 		inflight: make(map[Spec]*job),
 		cache:    newResultCache(opts.CacheSize),
-		queue:    make(chan *job, opts.QueueCap),
+		sched:    newScheduler(opts.QueueCap),
+	}
+	if opts.DataDir != "" {
+		jnl, err := journal.Open(filepath.Join(opts.DataDir, "journal"), journal.Options{
+			SegmentBytes: opts.SegmentBytes,
+			Fsync:        opts.Fsync,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.jnl = jnl
+		if err := m.recover(); err != nil {
+			jnl.Close()
+			return nil, err
+		}
 	}
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	return m
+	return m, nil
 }
 
 // Close drains the pool: running jobs are cancelled, queued jobs are marked
-// canceled, and workers exit.
+// canceled, workers exit, and the journal is synced shut.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -223,7 +309,10 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
-	close(m.queue)
+	for _, j := range m.sched.drain() {
+		delete(m.inflight, j.spec.key())
+		m.finishLocked(j, StateCanceled, nil, context.Canceled)
+	}
 	for _, j := range m.jobs {
 		if j.state == StateRunning && j.cancel != nil {
 			j.cancel()
@@ -231,9 +320,12 @@ func (m *Manager) Close() {
 	}
 	m.mu.Unlock()
 	m.wg.Wait()
+	if m.jnl != nil {
+		m.jnl.Close()
+	}
 }
 
-// validate admission-checks a spec.
+// validate admission-checks a spec (priority already normalized).
 func (m *Manager) validate(spec Spec) error {
 	if _, ok := m.reg.Get(spec.Graph); !ok {
 		return fmt.Errorf("service: unknown graph %q", spec.Graph)
@@ -249,14 +341,20 @@ func (m *Manager) validate(spec Spec) error {
 
 // Submit admits a spec and returns the job answering it. The returned view
 // may be a terminal cache hit (state "done", Cached), an in-flight job other
-// submitters already share (Coalesced > 1), or a fresh queued job.
+// submitters already share (Coalesced > 1), or a fresh queued job awaiting
+// dispatch in its priority class.
 func (m *Manager) Submit(spec Spec) (JobView, error) {
 	// Normalize before keying: the engine treats Walkers 0 and 1 identically
 	// (one walker, unchanged seed stream), so they must hit the same cache
-	// and single-flight entries.
+	// and single-flight entries; likewise the empty priority is batch.
 	if spec.Walkers == 0 {
 		spec.Walkers = 1
 	}
+	p, err := ParsePriority(string(spec.Priority))
+	if err != nil {
+		return JobView{}, err
+	}
+	spec.Priority = p
 	if err := m.validate(spec); err != nil {
 		return JobView{}, err
 	}
@@ -265,34 +363,53 @@ func (m *Manager) Submit(spec Spec) (JobView, error) {
 	if m.closed {
 		return JobView{}, fmt.Errorf("service: manager closed")
 	}
+	key := spec.key()
 	// Cache hit: a completed identical run answers instantly via a fresh
 	// (already terminal) job record.
-	if res, ok := m.cache.get(spec); ok {
+	if res, ok := m.cache.get(key); ok {
 		m.cacheHits++
 		j := m.newJobLocked(spec)
 		j.cached = true
 		j.coalesced = 1
+		m.journalAppendLocked(journal.TypeSubmitted, j.id,
+			recSubmitted{Spec: spec, Cached: true, GraphMeta: m.graphMeta(spec.Graph)})
 		m.finishLocked(j, StateDone, res, nil)
 		return j.view(), nil
 	}
 	// Single flight: an identical spec already queued or running absorbs
-	// this submission.
-	if j, ok := m.inflight[spec]; ok {
+	// this submission. A more urgent submitter promotes a still-queued job
+	// to its class — everyone coalesced onto it benefits.
+	if j, ok := m.inflight[key]; ok {
 		j.coalesced++
 		m.coalesced++
+		if j.state == StateQueued && priorityRank(spec.Priority) > priorityRank(j.spec.Priority) {
+			if m.sched.promote(j, spec.Priority) {
+				j.spec.Priority = spec.Priority
+			}
+		}
 		return j.view(), nil
 	}
 	j := m.newJobLocked(spec)
 	j.coalesced = 1
-	select {
-	case m.queue <- j:
-	default:
+	if err := m.sched.enqueue(j); err != nil {
 		delete(m.jobs, j.id)
 		m.order = m.order[:len(m.order)-1]
-		return JobView{}, fmt.Errorf("service: admission queue full (%d jobs)", cap(m.queue))
+		return JobView{}, err
 	}
-	m.inflight[spec] = j
+	m.inflight[key] = j
+	m.journalAppendLocked(journal.TypeSubmitted, j.id,
+		recSubmitted{Spec: spec, GraphMeta: m.graphMeta(spec.Graph)})
 	return j.view(), nil
+}
+
+// graphMeta fingerprints the currently registered graph for the journal
+// (nil when the name is gone, which recovery treats as unverifiable).
+func (m *Manager) graphMeta(name string) *GraphInfo {
+	info, ok := m.reg.Info(name)
+	if !ok {
+		return nil
+	}
+	return &info
 }
 
 // newJobLocked allocates and indexes a queued job. Caller holds m.mu.
@@ -311,8 +428,8 @@ func (m *Manager) newJobLocked(spec Spec) *job {
 	return j
 }
 
-// finishLocked moves a job to a terminal state and prunes old history.
-// Caller holds m.mu.
+// finishLocked moves a job to a terminal state, journals the transition,
+// notifies its event streams, and prunes old history. Caller holds m.mu.
 func (m *Manager) finishLocked(j *job, state State, res *core.Result, err error) {
 	j.state = state
 	j.finished = time.Now()
@@ -324,8 +441,63 @@ func (m *Manager) finishLocked(j *job, state State, res *core.Result, err error)
 	if err != nil {
 		j.errMsg = err.Error()
 	}
+	m.journalTerminalLocked(j)
+	m.notifySubsLocked(j, string(state))
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
 	close(j.done)
 	m.pruneLocked()
+	m.maybeCompactJournalLocked()
+}
+
+// notifySubsLocked pushes an event to every subscriber of j, dropping it
+// for subscribers whose buffers are full (a slow SSE client misses
+// intermediate checkpoints; terminal state delivery is guaranteed by the
+// channel close plus a final Get). Caller holds m.mu.
+func (m *Manager) notifySubsLocked(j *job, typ string) {
+	if len(j.subs) == 0 {
+		return
+	}
+	ev := JobEvent{Type: typ, Job: j.view()}
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Subscribe opens an event stream for a job: the returned channel yields an
+// initial "snapshot" event, then "checkpoint" events as the run progresses,
+// and closes after the terminal event. The unsubscribe function detaches a
+// no-longer-interested consumer (safe to call after the channel closed).
+func (m *Manager) Subscribe(id string) (<-chan JobEvent, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("service: unknown job %q", id)
+	}
+	ch := make(chan JobEvent, 16)
+	ch <- JobEvent{Type: "snapshot", Job: j.view()}
+	if j.state.terminal() {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	j.subs = append(j.subs, ch)
+	unsub := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for i, sub := range j.subs {
+			if sub == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				return
+			}
+		}
+	}
+	return ch, unsub, nil
 }
 
 // pruneLocked evicts the oldest terminal jobs while the table exceeds
@@ -344,10 +516,14 @@ func (m *Manager) pruneLocked() {
 	}
 }
 
-// worker drains the queue until Close.
+// worker pulls dispatched jobs from the scheduler until Close.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		j, ok := m.sched.next()
+		if !ok {
+			return
+		}
 		m.runJob(j)
 	}
 }
@@ -364,31 +540,36 @@ func (m *Manager) snapshotEvery(steps int) int {
 	return every
 }
 
-// runJob executes one queued job end to end.
+// runJob executes one dispatched job end to end.
 func (m *Manager) runJob(j *job) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
 	m.mu.Lock()
-	if j.state != StateQueued { // cancelled while waiting in the queue
+	if j.state != StateQueued { // cancelled between dispatch and here
 		m.mu.Unlock()
 		return
 	}
-	if m.closed { // drained from the queue during shutdown
-		delete(m.inflight, j.spec)
+	if m.closed { // dispatched during shutdown
+		delete(m.inflight, j.spec.key())
 		m.finishLocked(j, StateCanceled, nil, context.Canceled)
 		m.mu.Unlock()
 		return
 	}
 	j.state = StateRunning
+	j.started = time.Now()
 	j.cancel = cancel
 	m.active++
 	m.runs++
+	m.journalAppendLocked(journal.TypeStarted, j.id, nil)
 	m.mu.Unlock()
 
 	g, ok := m.reg.Get(j.spec.Graph)
 	if !ok {
-		m.settle(j, nil, fmt.Errorf("service: graph %q disappeared", j.spec.Graph))
+		// The graph was removed between submit and dispatch: fail cleanly
+		// (a terminal "failed" state with an actionable message) instead of
+		// surfacing whatever a nil graph would have produced mid-run.
+		m.settle(j, nil, fmt.Errorf("service: graph %q was removed after this job was submitted", j.spec.Graph))
 		return
 	}
 	est, err := core.NewEstimator(m.opts.NewClient(g), j.spec.config())
@@ -410,6 +591,11 @@ func (m *Manager) runJob(j *job) {
 				m.mu.Lock()
 				j.progress.Steps = step
 				j.progress.Concentration = conc
+				// One checkpoint, two consumers: the journal (restart-safe
+				// progress) and any live event streams.
+				m.journalAppendLocked(journal.TypeCheckpoint, j.id,
+					recCheckpoint{Steps: step, Concentration: conc})
+				m.notifySubsLocked(j, "checkpoint")
 				m.mu.Unlock()
 			})
 	}()
@@ -422,10 +608,10 @@ func (m *Manager) settle(j *job, res *core.Result, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.active--
-	delete(m.inflight, j.spec)
+	delete(m.inflight, j.spec.key())
 	switch {
 	case err == nil:
-		m.cache.put(j.spec, res)
+		m.cache.put(j.spec.key(), res, j.id)
 		m.finishLocked(j, StateDone, res, nil)
 	case errors.Is(err, context.Canceled):
 		m.finishLocked(j, StateCanceled, res, err)
@@ -436,7 +622,8 @@ func (m *Manager) settle(j *job, res *core.Result, err error) {
 
 // Cancel stops a queued or running job. Cancelling a terminal job is a
 // no-op that reports its final state. Note that a coalesced job is shared:
-// cancelling it cancels it for every submitter.
+// cancelling it cancels it for every submitter. Running jobs stop within a
+// few hundred walk transitions (the walkers' in-stage context polls).
 func (m *Manager) Cancel(id string) (JobView, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -446,12 +633,23 @@ func (m *Manager) Cancel(id string) (JobView, error) {
 	}
 	switch j.state {
 	case StateQueued:
-		delete(m.inflight, j.spec)
+		m.sched.remove(j)
+		delete(m.inflight, j.spec.key())
 		m.finishLocked(j, StateCanceled, nil, context.Canceled)
 	case StateRunning:
-		j.cancel() // observed at the next checkpoint barrier; settle finishes the job
+		j.cancel() // observed at the walkers' next context poll; settle finishes the job
 	}
 	return j.view(), nil
+}
+
+// DropGraph purges every cached result for the named graph. The HTTP layer
+// calls it when a graph is removed from the registry, so a later re-bind of
+// the name to different topology cannot serve stale results. Queued jobs
+// referencing the graph are left to fail cleanly at dispatch.
+func (m *Manager) DropGraph(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cache.dropGraph(name)
 }
 
 // Get returns a snapshot of the job.
@@ -499,30 +697,41 @@ func (m *Manager) List() []JobView {
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return Stats{
-		Jobs:        len(m.jobs),
-		Runs:        m.runs,
-		CacheHits:   m.cacheHits,
-		CacheSize:   m.cache.len(),
-		Coalesced:   m.coalesced,
-		Workers:     m.opts.Workers,
-		MaxWalkers:  m.opts.MaxWalkers,
-		QueueDepth:  len(m.queue),
-		ActiveJobs:  m.active,
-		GraphsCount: len(m.reg.List()),
+	st := Stats{
+		Jobs:          len(m.jobs),
+		Runs:          m.runs,
+		CacheHits:     m.cacheHits,
+		CacheSize:     m.cache.len(),
+		Coalesced:     m.coalesced,
+		Workers:       m.opts.Workers,
+		MaxWalkers:    m.opts.MaxWalkers,
+		QueueDepth:    m.sched.depth(),
+		ActiveJobs:    m.active,
+		GraphsCount:   len(m.reg.List()),
+		QueueByClass:  m.sched.depthByClass(),
+		RecoveredJobs: m.recovered,
+		WarmedResults: m.warmed,
+		JournalErrors: m.journalErrs,
 	}
+	if m.jnl != nil {
+		st.JournalSegments = m.jnl.Segments()
+	}
+	return st
 }
 
 // view renders the client-facing snapshot. Caller holds Manager.mu.
 func (j *job) view() JobView {
 	v := JobView{
-		ID:        j.id,
-		Spec:      j.spec,
-		State:     j.state,
-		Progress:  j.progress,
-		Error:     j.errMsg,
-		Cached:    j.cached,
-		Coalesced: j.coalesced,
+		ID:         j.id,
+		Spec:       j.spec,
+		State:      j.state,
+		Progress:   j.progress,
+		Error:      j.errMsg,
+		Cached:     j.cached,
+		Coalesced:  j.coalesced,
+		CreatedAt:  j.created,
+		StartedAt:  j.started,
+		FinishedAt: j.finished,
 	}
 	if conc := j.progress.Concentration; conc != nil {
 		v.Progress.Concentration = append([]float64(nil), conc...)

@@ -3,10 +3,18 @@
 // needs on top of the parallel walker ensemble:
 //
 //   - a graph Registry of named graphs (edge-list files or stand-in
-//     datasets), listed and introspected over HTTP;
+//     datasets), listed, introspected and removable over HTTP;
 //   - an async job Manager: POST an estimation Spec, get a job ID, poll
-//     live progress snapshots, cancel via context cancellation plumbed down
-//     to the walker ensemble's checkpoint barriers;
+//     live progress snapshots or stream them as server-sent events, cancel
+//     via context cancellation plumbed down to step granularity inside the
+//     walker ensemble;
+//   - a weighted-fair priority scheduler (scheduler.go): interactive >
+//     batch > background classes under per-class deficit accounting, so
+//     short jobs overtake long crawls without starving them;
+//   - a durable journal (store.go + the journal subpackage): with a data
+//     dir, every lifecycle transition is logged append-only and replayed on
+//     restart — the job table rebuilds, the result cache warms, and
+//     interrupted jobs re-queue;
 //   - a result cache with request coalescing: identical specs are answered
 //     from an LRU cache, and identical in-flight specs are deduplicated
 //     single-flight, so a thundering herd of N clients costs one estimation
@@ -37,9 +45,11 @@ type GraphInfo struct {
 }
 
 // Registry holds the named graphs the daemon serves estimations over.
-// Names are immutable once registered — the result cache is keyed by graph
-// name, so re-binding a name to different topology would serve stale
-// results. It is safe for concurrent use.
+// A registered name cannot be re-bound in place — the result cache is keyed
+// by graph name, so silently swapping topology under a live name would
+// serve stale results. Remove unregisters a name (its cached results must
+// be purged alongside, see Manager.DropGraph), after which the name may be
+// registered afresh. It is safe for concurrent use.
 type Registry struct {
 	mu     sync.RWMutex
 	graphs map[string]*graph.Graph
@@ -111,6 +121,22 @@ func (r *Registry) AddFile(name, path string) error {
 		}
 	}
 	return r.Add(name, source, lcc)
+}
+
+// Remove unregisters name, reporting whether it was present. In-flight
+// jobs against the graph keep their *graph.Graph reference and finish
+// normally; jobs still queued fail cleanly at dispatch when their lookup
+// misses. Callers must also purge the graph's cached results
+// (Manager.DropGraph) before re-binding the name.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[name]; !ok {
+		return false
+	}
+	delete(r.graphs, name)
+	delete(r.infos, name)
+	return true
 }
 
 // Get returns the graph registered under name.

@@ -1,0 +1,251 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Priority is a job's scheduling class. Interactive jobs overtake batch
+// jobs, which overtake background jobs, under the weighted-deficit rule
+// implemented by scheduler — a long background crawl can no longer starve
+// short interactive requests the way the old FIFO queue did.
+type Priority string
+
+const (
+	// PriorityInteractive is for latency-sensitive requests (dashboards,
+	// ad-hoc queries): highest weight, dispatched ahead of everything else
+	// whenever its class has queued work.
+	PriorityInteractive Priority = "interactive"
+	// PriorityBatch is the default class for ordinary submissions.
+	PriorityBatch Priority = "batch"
+	// PriorityBackground is for long crawls and bulk re-computation: it
+	// yields to both other classes but is never starved outright.
+	PriorityBackground Priority = "background"
+)
+
+// priorityRank orders classes for coalescing upgrades (higher = more
+// urgent). Unknown classes rank lowest.
+func priorityRank(p Priority) int {
+	switch p {
+	case PriorityInteractive:
+		return 2
+	case PriorityBatch:
+		return 1
+	case PriorityBackground:
+		return 0
+	}
+	return -1
+}
+
+// priorityWeight is each class's share of the step-budget virtual clock.
+// The ratios are deliberately steep: a queued interactive job is dispatched
+// ahead of ~64 background step-budget units per unit of its own, so bursts
+// of short jobs overtake long crawls almost immediately, while a saturated
+// interactive class still lets background work trickle through (weighted
+// fairness, not strict priority — no starvation).
+func priorityWeight(p Priority) float64 {
+	switch p {
+	case PriorityInteractive:
+		return 64
+	case PriorityBatch:
+		return 8
+	}
+	return 1
+}
+
+// ParsePriority validates a spec's priority string; empty means batch.
+func ParsePriority(s string) (Priority, error) {
+	switch Priority(s) {
+	case "":
+		return PriorityBatch, nil
+	case PriorityInteractive, PriorityBatch, PriorityBackground:
+		return Priority(s), nil
+	}
+	return "", fmt.Errorf("service: unknown priority %q (want interactive, batch or background)", s)
+}
+
+// scheduler replaces the old FIFO admission channel with per-class queues
+// under weighted deficit accounting (stride scheduling over step budgets):
+// every class carries a virtual-time pass; dispatching a job advances its
+// class's pass by the job's step budget divided by the class weight, and
+// the next dispatch always goes to the backlogged class with the smallest
+// pass. Classes therefore share the workers in weight proportion —
+// interactive overtakes batch overtakes background — and an idle class
+// re-enters at the current virtual time instead of cashing in banked
+// credit. FIFO order is preserved within a class.
+//
+// scheduler has its own lock, acquired after Manager.mu in every shared
+// call path (enqueue/remove/promote under Manager.mu; next from bare worker
+// goroutines), so the ordering is acyclic.
+type scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[Priority][]*job
+	pass   map[Priority]float64
+	vtime  float64 // monotone virtual clock; see next()
+	size   int
+	cap    int
+	closed bool
+}
+
+func newScheduler(queueCap int) *scheduler {
+	s := &scheduler{
+		queues: make(map[Priority][]*job),
+		pass:   make(map[Priority]float64),
+		cap:    queueCap,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// jobCost is the deficit a dispatch charges: the job's step budget, the
+// best prior proxy for how long it will hold a worker.
+func jobCost(j *job) float64 {
+	if j.spec.Steps <= 0 {
+		return 1
+	}
+	return float64(j.spec.Steps)
+}
+
+// enqueue admits j into its class queue. It fails when the scheduler is
+// closed or the total backlog is at capacity.
+func (s *scheduler) enqueue(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("service: scheduler closed")
+	}
+	if s.size >= s.cap {
+		return fmt.Errorf("service: admission queue full (%d jobs)", s.cap)
+	}
+	p := j.spec.Priority
+	if len(s.queues[p]) == 0 && s.pass[p] < s.vtime {
+		// A class that went idle re-enters at the current virtual time: it
+		// must not bank credit while empty and then monopolize the workers.
+		s.pass[p] = s.vtime
+	}
+	s.queues[p] = append(s.queues[p], j)
+	s.size++
+	s.cond.Signal()
+	return nil
+}
+
+// next blocks until a job is available and returns it, or returns false
+// once the scheduler is closed.
+func (s *scheduler) next() (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.size == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return nil, false
+	}
+	var best Priority
+	found := false
+	for p, q := range s.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if !found || s.pass[p] < s.pass[best] ||
+			(s.pass[p] == s.pass[best] && priorityRank(p) > priorityRank(best)) {
+			best, found = p, true
+		}
+	}
+	q := s.queues[best]
+	j := q[0]
+	q[0] = nil
+	s.queues[best] = q[1:]
+	s.size--
+	s.pass[best] += jobCost(j) / priorityWeight(best)
+	// Advance the virtual clock to the smallest pass still backlogged (or to
+	// the dispatched class's new pass when the backlog drained). Classes
+	// (re-)entering later start at this clock, so an idle period neither
+	// banks credit (a returning class cannot monopolize the workers) nor
+	// banks debt (work done while a class had no backlog cannot penalize its
+	// later arrivals).
+	min := s.pass[best]
+	for p, q := range s.queues {
+		if len(q) > 0 && s.pass[p] < min {
+			min = s.pass[p]
+		}
+	}
+	if min > s.vtime {
+		s.vtime = min
+	}
+	return j, true
+}
+
+// remove unlinks a still-queued job (cancellation); it reports whether the
+// job was found (false means a worker already claimed it).
+func (s *scheduler) remove(j *job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.removeLocked(j)
+}
+
+func (s *scheduler) removeLocked(j *job) bool {
+	q := s.queues[j.spec.Priority]
+	for i, queued := range q {
+		if queued == j {
+			s.queues[j.spec.Priority] = append(q[:i], q[i+1:]...)
+			s.size--
+			return true
+		}
+	}
+	return false
+}
+
+// promote moves a queued job to a more urgent class (a coalesced submitter
+// asked for it at higher priority). The caller updates j.spec.Priority —
+// under Manager.mu — only when promote reports the move happened.
+func (s *scheduler) promote(j *job, to Priority) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.removeLocked(j) {
+		return false
+	}
+	if len(s.queues[to]) == 0 && s.pass[to] < s.vtime {
+		s.pass[to] = s.vtime
+	}
+	s.queues[to] = append(s.queues[to], j)
+	s.size++
+	s.cond.Signal()
+	return true
+}
+
+// drain closes the scheduler and returns every still-queued job, newest
+// class first order unspecified. Blocked next callers wake and exit.
+func (s *scheduler) drain() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var out []*job
+	for p, q := range s.queues {
+		out = append(out, q...)
+		s.queues[p] = nil
+	}
+	s.size = 0
+	s.cond.Broadcast()
+	return out
+}
+
+// depth returns the total backlog.
+func (s *scheduler) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// depthByClass snapshots the per-class backlog for stats.
+func (s *scheduler) depthByClass() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.queues))
+	for p, q := range s.queues {
+		if len(q) > 0 {
+			out[string(p)] = len(q)
+		}
+	}
+	return out
+}

@@ -32,6 +32,16 @@ func testRegistry(t *testing.T) *Registry {
 	return reg
 }
 
+// newTestManager builds a manager or fails the test.
+func newTestManager(t *testing.T, reg *Registry, opts Options) *Manager {
+	t.Helper()
+	mgr, err := NewManager(reg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
 func postJob(t *testing.T, url string, spec Spec) (JobView, int) {
 	t.Helper()
 	body, _ := json.Marshal(spec)
@@ -98,7 +108,7 @@ func getStats(t *testing.T, url string) Stats {
 // get an instant cached answer.
 func TestServiceE2E(t *testing.T) {
 	reg := testRegistry(t)
-	mgr := NewManager(reg, Options{Workers: 4, MaxWalkers: 4})
+	mgr := newTestManager(t, reg, Options{Workers: 4, MaxWalkers: 4})
 	defer mgr.Close()
 	srv := httptest.NewServer(NewServer(reg, mgr))
 	defer srv.Close()
@@ -214,7 +224,7 @@ func (c gatedClient) RandomNode(rng *rand.Rand) int32 {
 func TestServiceCoalescing(t *testing.T) {
 	reg := testRegistry(t)
 	gate := make(chan struct{})
-	mgr := NewManager(reg, Options{
+	mgr := newTestManager(t, reg, Options{
 		Workers: 4, MaxWalkers: 4,
 		NewClient: func(g *graph.Graph) access.Client {
 			return gatedClient{Client: access.NewGraphClient(g), gate: gate}
@@ -265,7 +275,7 @@ func TestServiceCoalescing(t *testing.T) {
 // step budget, and the job reports the partial progress.
 func TestServiceCancellation(t *testing.T) {
 	reg := testRegistry(t)
-	mgr := NewManager(reg, Options{
+	mgr := newTestManager(t, reg, Options{
 		Workers: 2, MaxWalkers: 4, SnapshotEvery: 200,
 		NewClient: func(g *graph.Graph) access.Client {
 			// Slow the crawl so the budget takes far longer than the test:
@@ -327,7 +337,7 @@ func TestServiceCancellation(t *testing.T) {
 func TestServiceCancelQueued(t *testing.T) {
 	reg := testRegistry(t)
 	gate := make(chan struct{})
-	mgr := NewManager(reg, Options{
+	mgr := newTestManager(t, reg, Options{
 		Workers: 1, MaxWalkers: 2,
 		NewClient: func(g *graph.Graph) access.Client {
 			return gatedClient{Client: access.NewGraphClient(g), gate: gate}
@@ -361,7 +371,7 @@ func TestServiceCancelQueued(t *testing.T) {
 // walker cap are rejected.
 func TestServiceValidation(t *testing.T) {
 	reg := testRegistry(t)
-	mgr := NewManager(reg, Options{Workers: 1, MaxWalkers: 4})
+	mgr := newTestManager(t, reg, Options{Workers: 1, MaxWalkers: 4})
 	defer mgr.Close()
 	srv := httptest.NewServer(NewServer(reg, mgr))
 	defer srv.Close()
@@ -393,12 +403,12 @@ func TestResultCacheLRU(t *testing.T) {
 	c := newResultCache(2)
 	spec := func(seed int64) Spec { return Spec{Graph: "g", K: 3, D: 1, Steps: 10, Seed: seed} }
 	res := func(steps int) *core.Result { return &core.Result{Steps: steps} }
-	c.put(spec(1), res(1))
-	c.put(spec(2), res(2))
+	c.put(spec(1), res(1), "j-1")
+	c.put(spec(2), res(2), "j-2")
 	if r, ok := c.get(spec(1)); !ok || r.Steps != 1 { // refresh 1; 2 becomes LRU
 		t.Fatalf("spec 1: %v %v", r, ok)
 	}
-	c.put(spec(3), res(3)) // evicts 2
+	c.put(spec(3), res(3), "j-3") // evicts 2
 	if _, ok := c.get(spec(2)); ok {
 		t.Error("spec 2 should have been evicted")
 	}
@@ -418,7 +428,7 @@ func TestResultCacheLRU(t *testing.T) {
 // cache-hit traffic.
 func TestServiceNormalizationAndRetention(t *testing.T) {
 	reg := testRegistry(t)
-	mgr := NewManager(reg, Options{Workers: 2, MaxWalkers: 2, MaxJobs: 5})
+	mgr := newTestManager(t, reg, Options{Workers: 2, MaxWalkers: 2, MaxJobs: 5})
 	defer mgr.Close()
 
 	spec := Spec{Graph: "hk", K: 3, D: 1, Steps: 1500, Walkers: 1, Seed: 21}
@@ -467,7 +477,7 @@ func (panickyClient) RandomNode(*rand.Rand) int32 { panic("transport down") }
 func TestServicePanicFailsJob(t *testing.T) {
 	reg := testRegistry(t)
 	broken := true
-	mgr := NewManager(reg, Options{
+	mgr := newTestManager(t, reg, Options{
 		Workers: 1, MaxWalkers: 2,
 		NewClient: func(g *graph.Graph) access.Client {
 			if broken {

@@ -1,0 +1,291 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service/journal"
+)
+
+// This file is the Manager's durability layer: every job-lifecycle
+// transition is appended to an append-only journal (internal/service/journal)
+// as it happens, and on startup the journal is replayed to rebuild the job
+// table, warm the result cache with every completed run, and re-queue the
+// jobs that were queued or running when the previous process died. The
+// journal is the single source of truth; the in-memory job table is a
+// replayable view of it (the LogBase pattern).
+//
+// Record payloads are JSON. encoding/json round-trips float64 exactly
+// (shortest-representation encoding), so a result warmed from the journal
+// is byte-identical to the run that produced it — the same property that
+// makes the in-memory result cache sound.
+
+// recSubmitted is the payload of a TypeSubmitted record.
+type recSubmitted struct {
+	Spec Spec `json:"spec"`
+	// Cached marks a submission answered from the result cache without a
+	// run; its terminal record carries no result payload (the cache entry of
+	// the originating run, replayed earlier in the log, already holds it).
+	Cached bool `json:"cached,omitempty"`
+	// GraphMeta fingerprints the topology the spec was admitted against.
+	// Within one process a registered name is never re-bound, but across a
+	// restart the operator may point the same -graph name at a different
+	// file; recovery compares this fingerprint against the freshly
+	// registered graph and refuses to warm the cache (or re-run the job)
+	// from results that belong to different topology.
+	GraphMeta *GraphInfo `json:"graph_meta,omitempty"`
+}
+
+// recCheckpoint is the payload of a TypeCheckpoint record.
+type recCheckpoint struct {
+	Steps         int       `json:"steps"`
+	Concentration []float64 `json:"concentration,omitempty"`
+}
+
+// recDone is the payload of a TypeDone record.
+type recDone struct {
+	Result *core.Result `json:"result,omitempty"`
+}
+
+// recFailed is the payload of TypeFailed and TypeCanceled records.
+type recFailed struct {
+	Error string `json:"error,omitempty"`
+}
+
+// journalAppendLocked appends one record, best effort: a failed append is
+// reported to stderr-by-counter rather than failing the job — the daemon
+// keeps serving from memory if the disk fills. Caller holds m.mu. No-op
+// while replaying (replay must not re-journal what it reads) or when the
+// manager runs without a data dir.
+func (m *Manager) journalAppendLocked(typ journal.Type, jobID string, payload any) {
+	if m.jnl == nil || m.replaying {
+		return
+	}
+	var body []byte
+	if payload != nil {
+		var err error
+		if body, err = json.Marshal(payload); err != nil {
+			m.journalErrs++
+			return
+		}
+	}
+	if err := m.jnl.Append(journal.Record{Type: typ, Job: jobID, Payload: body}); err != nil {
+		m.journalErrs++
+	}
+}
+
+// journalTerminalLocked records a job reaching its final state. Caller
+// holds m.mu.
+func (m *Manager) journalTerminalLocked(j *job) {
+	switch j.state {
+	case StateDone:
+		p := recDone{}
+		if !j.cached { // cache hits replay their result via the original run
+			p.Result = j.result
+		}
+		m.journalAppendLocked(journal.TypeDone, j.id, p)
+	case StateFailed:
+		m.journalAppendLocked(journal.TypeFailed, j.id, recFailed{Error: j.errMsg})
+	case StateCanceled:
+		m.journalAppendLocked(journal.TypeCanceled, j.id, recFailed{Error: j.errMsg})
+	}
+}
+
+// recover rebuilds the manager's state from the journal: the job table in
+// submission order, the warm result cache, and the re-queued remainder.
+// Called from NewManager before the workers start, so no locking is needed;
+// m.replaying suppresses re-journaling.
+func (m *Manager) recover() error {
+	m.replaying = true
+	defer func() { m.replaying = false }()
+
+	metas := make(map[string]*GraphInfo) // job ID -> admitted-against fingerprint
+	err := m.jnl.Replay(func(rec journal.Record) error {
+		j := m.jobs[rec.Job]
+		if rec.Type != journal.TypeSubmitted && j == nil {
+			// The job's submitted record was compacted away or its segment
+			// lost; without a spec the record cannot be applied. Skip rather
+			// than fail the whole recovery.
+			return nil
+		}
+		switch rec.Type {
+		case journal.TypeSubmitted:
+			var p recSubmitted
+			if err := json.Unmarshal(rec.Payload, &p); err != nil {
+				return fmt.Errorf("service: replay %s %s: %w", rec.Type, rec.Job, err)
+			}
+			if j == nil {
+				j = &job{id: rec.Job, done: make(chan struct{})}
+				m.jobs[rec.Job] = j
+				m.order = append(m.order, rec.Job)
+			}
+			j.spec = p.Spec
+			j.state = StateQueued
+			j.cached = p.Cached
+			j.coalesced = 1
+			j.created = time.Unix(0, rec.Time)
+			j.progress = Progress{Total: p.Spec.Steps}
+			metas[j.id] = p.GraphMeta
+		case journal.TypeStarted:
+			j.state = StateRunning
+			j.started = time.Unix(0, rec.Time)
+		case journal.TypeCheckpoint:
+			var p recCheckpoint
+			if err := json.Unmarshal(rec.Payload, &p); err != nil {
+				return fmt.Errorf("service: replay %s %s: %w", rec.Type, rec.Job, err)
+			}
+			j.progress.Steps = p.Steps
+			j.progress.Concentration = p.Concentration
+		case journal.TypeDone:
+			var p recDone
+			if err := json.Unmarshal(rec.Payload, &p); err != nil {
+				return fmt.Errorf("service: replay %s %s: %w", rec.Type, rec.Job, err)
+			}
+			j.state = StateDone
+			j.finished = time.Unix(0, rec.Time)
+			j.result = p.Result
+		case journal.TypeFailed, journal.TypeCanceled:
+			var p recFailed
+			if err := json.Unmarshal(rec.Payload, &p); err != nil {
+				return fmt.Errorf("service: replay %s %s: %w", rec.Type, rec.Job, err)
+			}
+			if rec.Type == journal.TypeFailed {
+				j.state = StateFailed
+			} else {
+				j.state = StateCanceled
+			}
+			j.finished = time.Unix(0, rec.Time)
+			j.errMsg = p.Error
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Second pass in submission order: warm the cache from completed runs,
+	// close terminal jobs' done channels, and re-queue whatever the crash
+	// interrupted. Both actions require the job's recorded graph
+	// fingerprint to match the currently registered graph — a name re-bound
+	// to different topology across the restart must neither serve the old
+	// results nor silently run old specs against the new graph.
+	sameBind := func(id string, graphName string) bool {
+		meta := metas[id]
+		if meta == nil {
+			return false
+		}
+		info, ok := m.reg.Info(graphName)
+		return ok && info.Nodes == meta.Nodes && info.Edges == meta.Edges &&
+			info.MaxDegree == meta.MaxDegree
+	}
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if n := jobIDNumber(id); n > m.nextID {
+			m.nextID = n
+		}
+		switch {
+		case j.state == StateDone:
+			if j.result != nil {
+				if sameBind(id, j.spec.Graph) {
+					m.cache.put(j.spec.key(), j.result, j.id)
+					m.warmed++
+				}
+				j.progress.Steps = j.result.Steps
+				j.progress.Concentration = j.result.Concentration()
+			} else if j.cached {
+				// A cache-hit job: its result lives with the originating run,
+				// replayed (and cached) earlier in the log — unless the LRU
+				// has since evicted it, in which case the view simply omits
+				// the result body.
+				if res, ok := m.cache.get(j.spec.key()); ok {
+					j.result = res
+				}
+			}
+			close(j.done)
+		case j.state.terminal():
+			close(j.done)
+		default:
+			// Queued or running at crash: the walk state is gone, so the job
+			// restarts from scratch with a fresh queue slot at its original
+			// priority — but only onto the same topology it was admitted
+			// against.
+			if !sameBind(id, j.spec.Graph) {
+				j.state = StateFailed
+				j.errMsg = fmt.Sprintf("service: graph %q is not registered with the same topology it was submitted against; job not re-run", j.spec.Graph)
+				close(j.done)
+				continue
+			}
+			j.state = StateQueued
+			j.progress = Progress{Total: j.spec.Steps}
+			j.started = time.Time{}
+			if err := m.sched.enqueue(j); err != nil {
+				j.state = StateFailed
+				j.errMsg = fmt.Sprintf("recovery: %v", err)
+				close(j.done)
+				continue
+			}
+			m.inflight[j.spec.key()] = j
+			m.recovered++
+		}
+	}
+	m.pruneLocked()
+	if m.jnl.Segments() > m.opts.CompactSegments {
+		return m.compactJournalLocked()
+	}
+	return nil
+}
+
+// jobIDNumber parses the numeric suffix of a "j-N" job ID (0 if malformed).
+func jobIDNumber(id string) int {
+	rest, ok := strings.CutPrefix(id, "j-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// maybeCompactJournalLocked compacts once the log spans more segments than
+// the configured bound, dropping superseded records so on-disk size tracks
+// the live job table instead of total request history. Caller holds m.mu.
+func (m *Manager) maybeCompactJournalLocked() {
+	if m.jnl == nil || m.jnl.Segments() <= m.opts.CompactSegments {
+		return
+	}
+	if err := m.compactJournalLocked(); err != nil {
+		m.journalErrs++
+	}
+}
+
+// compactJournalLocked rewrites the journal keeping, for each job still in
+// the table, its submitted record and (when terminal) its terminal record,
+// plus the submitted/done pair of any job whose result still backs a live
+// cache entry (so restart re-warms the LRU even after the producing job was
+// pruned from the bounded table). Started and checkpoint records are
+// superseded by construction — a non-terminal job restarts from scratch on
+// recovery — and everything else is dead weight. Caller holds m.mu.
+func (m *Manager) compactJournalLocked() error {
+	return m.jnl.Compact(func(rec journal.Record) bool {
+		if m.cache.ownsJob(rec.Job) {
+			return rec.Type == journal.TypeSubmitted || rec.Type == journal.TypeDone
+		}
+		j, ok := m.jobs[rec.Job]
+		if !ok {
+			return false
+		}
+		switch rec.Type {
+		case journal.TypeSubmitted:
+			return true
+		case journal.TypeDone, journal.TypeFailed, journal.TypeCanceled:
+			return j.state.terminal()
+		}
+		return false
+	})
+}

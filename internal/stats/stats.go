@@ -6,6 +6,7 @@ package stats
 import (
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -52,6 +53,31 @@ func Variance(xs []float64) float64 {
 
 // StdDev returns the population standard deviation.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation between order statistics, without modifying xs. NaN for
+// empty input. Used by the scheduler latency benchmarks (p50/p95 queue
+// wait) and available to any metric aggregation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
 
 // PoolWorkers sizes a worker pool whose tasks are themselves parallel:
 // it returns how many tasks may run concurrently so that

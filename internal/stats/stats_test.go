@@ -28,6 +28,28 @@ func TestNRMSE(t *testing.T) {
 	}
 }
 
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose; Quantile must not mutate
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %f, want 1", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Errorf("q1 = %f, want 4", q)
+	}
+	if q := Quantile(xs, 0.5); math.Abs(q-2.5) > 1e-12 {
+		t.Errorf("median = %f, want 2.5", q)
+	}
+	if q := Quantile([]float64{7}, 0.95); q != 7 {
+		t.Errorf("singleton q95 = %f, want 7", q)
+	}
+	if xs[0] != 4 || xs[3] != 2 {
+		t.Errorf("Quantile mutated its input: %v", xs)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty input should give NaN")
+	}
+}
+
 func TestMeanVariance(t *testing.T) {
 	xs := []float64{1, 2, 3, 4}
 	if Mean(xs) != 2.5 {
