@@ -12,11 +12,16 @@
 //	graphletd -graph social=edges.txt -data-dir /var/lib/graphletd
 //
 // With -data-dir the daemon is durable: every job transition is appended to
-// a CRC-checksummed journal under <data-dir>/journal, and a restart replays
-// it — completed results are served from the warmed cache without
-// re-running, and jobs that were queued or running at the crash re-queue
-// and finish. Without it the job table is in-memory only (the pre-journal
-// behavior).
+// a CRC-checksummed journal under <data-dir>/journal (asynchronously, on an
+// ordered writer goroutine, so -fsync on a slow disk never stalls the API),
+// and a restart replays it — completed results are served from the warmed
+// cache without re-running, and jobs that were queued or running at the
+// crash re-queue and finish. Checkpoint records carry the engine's
+// serialized walker state, so an interrupted job resumes from its last
+// checkpoint instead of step 0: the scheduler charges only the remaining
+// budget, and the job's resumed_steps (status, SSE, /v1/stats) reports how
+// much crawl work the resume preserved. Without -data-dir the job table is
+// in-memory only (the pre-journal behavior).
 //
 // -graph accepts text edge lists and .gcsr binary CSR files (see
 // cmd/graphlet-pack); .gcsr files open zero-copy through mmap — one
@@ -111,8 +116,8 @@ func main() {
 	fmt.Printf("graphletd: %d graph(s), %d worker(s), walker cap %d, cache %d results\n",
 		st.GraphsCount, st.Workers, st.MaxWalkers, *cacheSize)
 	if *dataDir != "" {
-		fmt.Printf("  journal %s: %d segment(s), %d job(s) re-queued, %d result(s) warmed\n",
-			*dataDir, st.JournalSegments, st.RecoveredJobs, st.WarmedResults)
+		fmt.Printf("  journal %s: %d segment(s), %d job(s) re-queued (%d resumable mid-budget), %d result(s) warmed\n",
+			*dataDir, st.JournalSegments, st.RecoveredJobs, st.ResumableJobs, st.WarmedResults)
 	}
 	for _, info := range reg.List() {
 		fmt.Printf("  graph %-12s %8d nodes %9d edges (max degree %d, %s)\n",

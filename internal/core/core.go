@@ -202,6 +202,14 @@ type Estimator struct {
 	cfg     Config
 	client  access.Client
 	walkers []*walker
+
+	// done is the checkpoint target reached so far (windows processed across
+	// walkers); Snapshot records it and Restore seeds it, making a run a
+	// serializable state machine.
+	done int
+	// restored marks that the next run should continue from the restored
+	// state instead of resetting the walkers.
+	restored bool
 }
 
 // NewEstimator builds an estimator over the client. When cfg.Walkers > 1 the
@@ -247,15 +255,27 @@ func (e *Estimator) RunCheckpointsCtx(ctx context.Context, n, every int, fn func
 		return nil, fmt.Errorf("core: non-positive sample budget %d", n)
 	}
 	nw := len(e.walkers)
-	for _, wk := range e.walkers {
-		wk.reset()
+	resumed := e.restored
+	e.restored = false
+	if resumed {
+		if e.done > n {
+			return nil, fmt.Errorf("core: restored state at %d windows exceeds budget %d", e.done, n)
+		}
+	} else {
+		for _, wk := range e.walkers {
+			wk.reset()
+		}
+		// Sequential seed draws: see walker.ensureSeeded.
+		for _, wk := range e.walkers {
+			wk.ensureSeeded()
+		}
+		e.done = 0
 	}
-	// Sequential seed draws: see walker.ensureSeeded.
-	for _, wk := range e.walkers {
-		wk.ensureSeeded()
-	}
-	prev := 0
+	prev := e.done
 	for _, target := range checkpointTargets(n, every, fn != nil) {
+		if target <= prev {
+			continue // already covered by the restored state
+		}
 		if err := ctx.Err(); err != nil {
 			return e.merged(), err
 		}
@@ -271,11 +291,65 @@ func (e *Estimator) RunCheckpointsCtx(ctx context.Context, n, every int, fn func
 			return nil, err
 		}
 		prev = target
+		e.done = target
 		if fn != nil {
 			fn(target, e.merged().Concentration())
 		}
 	}
 	return e.merged(), nil
+}
+
+// Snapshot exports the run's complete resumable state. It is only valid
+// while the walkers are quiescent: from inside a RunCheckpoints callback
+// (the walkers park at the checkpoint barrier for the callback's duration)
+// or after a run returned. Snapshots are read-only — taking one changes no
+// walker state, so checkpointed runs stay byte-identical to unobserved ones.
+func (e *Estimator) Snapshot() *EnsembleState {
+	st := &EnsembleState{
+		Config:      e.cfg,
+		WindowsDone: e.done,
+		Walkers:     make([]WalkerState, len(e.walkers)),
+	}
+	for i, wk := range e.walkers {
+		st.Walkers[i] = wk.snapshot()
+	}
+	return st
+}
+
+// Restore loads an exported state into the estimator: the next
+// Run/RunCheckpoints call continues the interrupted run from st.WindowsDone
+// windows instead of starting over, and — because the RNG streams, windows
+// and accumulators are reconstructed exactly — completes with a result
+// byte-identical to the uninterrupted run's, at any GOMAXPROCS. The state
+// must have been captured under an equal Config (including Walkers and
+// Seed). On error the estimator may be partially mutated and must be
+// discarded.
+func (e *Estimator) Restore(st *EnsembleState) error {
+	if st == nil {
+		return fmt.Errorf("core: nil ensemble state")
+	}
+	if st.Config != e.cfg {
+		return fmt.Errorf("core: ensemble state was captured under config %+v, estimator has %+v", st.Config, e.cfg)
+	}
+	if len(st.Walkers) != len(e.walkers) {
+		return fmt.Errorf("core: ensemble state has %d walkers, estimator has %d", len(st.Walkers), len(e.walkers))
+	}
+	nw := len(e.walkers)
+	for i, wk := range e.walkers {
+		// The quota split is a pure function of (WindowsDone, W, i); a state
+		// whose per-walker window counts disagree with it cannot have come
+		// from a checkpoint barrier.
+		if want := walkerQuota(st.WindowsDone, nw, i); st.Walkers[i].ResSteps != want {
+			return fmt.Errorf("core: walker %d processed %d windows, want %d at ensemble target %d",
+				i, st.Walkers[i].ResSteps, want, st.WindowsDone)
+		}
+		if err := wk.restore(st.Walkers[i]); err != nil {
+			return err
+		}
+	}
+	e.done = st.WindowsDone
+	e.restored = true
+	return nil
 }
 
 // merged combines the walkers' private Results in walker-index order.

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/walk"
+)
+
+// TestResumeByteIdentical is the SIGKILL-semantics proof of the serializable
+// state machine: capture a snapshot at a mid-run checkpoint barrier (exactly
+// what the service journals), encode and decode it, restore it into a fresh
+// estimator, run to completion — the result must be byte-identical to the
+// uninterrupted run, for single- and multi-walker ensembles and every
+// accumulator variant (plain, CSS, NB, RecoverStars).
+func TestResumeByteIdentical(t *testing.T) {
+	g := convGraph()
+	client := access.NewGraphClient(g)
+	const n, every, interruptAt = 4000, 500, 2000
+	for _, cfg := range []Config{
+		{K: 3, D: 1, Seed: 17, Walkers: 1},
+		{K: 4, D: 2, CSS: true, Seed: 99, Walkers: 4},
+		{K: 4, D: 2, CSS: true, NB: true, Seed: 7, Walkers: 8},
+		{K: 4, D: 1, RecoverStars: true, Seed: 31, Walkers: 3},
+		{K: 5, D: 3, CSS: true, Seed: 23, Walkers: 2},
+	} {
+		full, err := NewEstimator(client, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The uninterrupted run, snapshotting mid-flight like the service does
+		// (the snapshot must not perturb the run).
+		var blob []byte
+		want, err := full.RunCheckpoints(n, every, func(step int, conc []float64) {
+			if step == interruptAt {
+				blob = full.Snapshot().Encode()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blob == nil {
+			t.Fatalf("%s: no snapshot captured", cfg.MethodName())
+		}
+
+		st, err := DecodeEnsembleState(blob)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", cfg.MethodName(), err)
+		}
+		if st.WindowsDone != interruptAt {
+			t.Fatalf("%s: snapshot at %d windows, want %d", cfg.MethodName(), st.WindowsDone, interruptAt)
+		}
+		resumed, err := NewEstimator(client, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.Restore(st); err != nil {
+			t.Fatalf("%s: restore: %v", cfg.MethodName(), err)
+		}
+		got, err := resumed.RunCheckpoints(n, every, func(int, []float64) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: resumed result differs from uninterrupted run:\n got %+v\nwant %+v",
+				cfg.MethodName(), got, want)
+		}
+	}
+}
+
+// A snapshot taken at the final barrier resumes to an immediately complete
+// run (the crash-after-last-checkpoint case).
+func TestResumeAtFullBudget(t *testing.T) {
+	client := access.NewGraphClient(convGraph())
+	cfg := Config{K: 3, D: 1, Seed: 5, Walkers: 2}
+	est, err := NewEstimator(client, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := est.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := est.Snapshot()
+	re, err := NewEstimator(client, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("zero-remaining resume diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// Restore validation: config mismatches and structurally impossible states
+// are rejected with errors, never panics.
+func TestRestoreValidation(t *testing.T) {
+	client := access.NewGraphClient(convGraph())
+	cfg := Config{K: 4, D: 2, Seed: 9, Walkers: 2}
+	est, err := NewEstimator(client, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Run(600); err != nil {
+		t.Fatal(err)
+	}
+	good := est.Snapshot()
+
+	fresh := func() *Estimator {
+		e, err := NewEstimator(client, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	if err := fresh().Restore(nil); err == nil {
+		t.Error("nil state accepted")
+	}
+	other := *good
+	other.Config.Seed++
+	if err := fresh().Restore(&other); err == nil {
+		t.Error("config mismatch accepted")
+	}
+	short := *good
+	short.Walkers = good.Walkers[:1]
+	if err := fresh().Restore(&short); err == nil {
+		t.Error("walker-count mismatch accepted")
+	}
+	skew := *good
+	skew.Walkers = append([]WalkerState(nil), good.Walkers...)
+	skew.Walkers[0].ResSteps++
+	if err := fresh().Restore(&skew); err == nil {
+		t.Error("quota-inconsistent state accepted")
+	}
+	e := fresh()
+	if err := e.Restore(good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunCheckpoints(100, 0, nil); err == nil {
+		t.Error("restored state beyond the budget accepted")
+	}
+}
+
+// Decoding truncated and bit-flipped snapshots errors instead of panicking,
+// and a valid blob round-trips exactly.
+func TestEnsembleStateDecodeRobust(t *testing.T) {
+	client := access.NewGraphClient(convGraph())
+	est, err := NewEstimator(client, Config{K: 4, D: 2, CSS: true, Seed: 3, Walkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Run(800); err != nil {
+		t.Fatal(err)
+	}
+	blob := est.Snapshot().Encode()
+
+	st, err := DecodeEnsembleState(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Encode(), blob) {
+		t.Error("encode/decode/encode is not a fixed point")
+	}
+	for cut := 0; cut < len(blob); cut += 7 {
+		if _, err := DecodeEnsembleState(blob[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", cut)
+		}
+	}
+	if _, err := DecodeEnsembleState(append(append([]byte(nil), blob...), 0xFF)); err == nil {
+		t.Error("trailing garbage decoded cleanly")
+	}
+}
+
+// FuzzDecodeEnsembleState hammers the decoder (and Restore on whatever
+// decodes) with arbitrary bytes: the only acceptable failure mode is an
+// error return.
+func FuzzDecodeEnsembleState(f *testing.F) {
+	client := access.NewGraphClient(convGraph())
+	cfg := Config{K: 4, D: 2, CSS: true, Seed: 3, Walkers: 2}
+	est, err := NewEstimator(client, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := est.Run(600); err != nil {
+		f.Fatal(err)
+	}
+	blob := est.Snapshot().Encode()
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add([]byte("GEST"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeEnsembleState(data)
+		if err != nil {
+			return
+		}
+		// Canonical round trip: whatever decodes must re-encode to a blob
+		// that decodes back to the same structure (byte equality with the
+		// input is not required — varints have non-canonical encodings).
+		st2, err := DecodeEnsembleState(st.Encode())
+		if err != nil {
+			t.Fatalf("re-encoding a decoded state does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(st, st2) {
+			t.Fatal("decode/encode/decode is not stable")
+		}
+		e, err := NewEstimator(client, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = e.Restore(st) // must not panic; errors are fine
+	})
+}
+
+// The seekable RNG reproduces math/rand streams exactly and fast-forwards to
+// any position.
+func TestSeekableRand(t *testing.T) {
+	r := walk.NewRand(42)
+	var ref []int
+	for i := 0; i < 100; i++ {
+		ref = append(ref, r.Intn(1000))
+	}
+	mid := walk.NewRand(42)
+	for i := 0; i < 50; i++ {
+		if got := mid.Intn(1000); got != ref[i] {
+			t.Fatalf("draw %d: %d, want %d", i, got, ref[i])
+		}
+	}
+	ff := walk.NewRandAt(42, mid.Pos())
+	if ff.Pos() != mid.Pos() {
+		t.Fatalf("fast-forward position %d, want %d", ff.Pos(), mid.Pos())
+	}
+	for i := 50; i < 100; i++ {
+		if got := ff.Intn(1000); got != ref[i] {
+			t.Fatalf("resumed draw %d: %d, want %d", i, got, ref[i])
+		}
+	}
+}

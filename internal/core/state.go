@@ -1,0 +1,347 @@
+// Serializable run state: an estimation run is a state machine whose
+// complete position — per-walker RNG stream position, walk position, sliding
+// window, and accumulator — can be exported at any checkpoint barrier
+// (Estimator.Snapshot), encoded to a compact versioned binary blob, and
+// restored into a fresh Estimator (Estimator.Restore) to continue the run.
+// A resumed run is byte-identical to an uninterrupted one at any GOMAXPROCS:
+// the RNG stream is reconstructed by seed + fast-forward, float64 fields
+// round-trip as IEEE-754 bits, and the ensemble's quota split is a pure
+// function of the window counts.
+
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/walk"
+)
+
+// WalkerState is the complete resumable state of one walker, captured while
+// the ensemble is quiescent at a checkpoint barrier.
+type WalkerState struct {
+	// RNGPos is the walker's RNG stream position (walk.Rand.Pos); the seed is
+	// derived from (Config.Seed, walker index), so it is not stored.
+	RNGPos uint64
+	// Seeded/Primed mirror the walker's lifecycle flags: start state drawn,
+	// burn-in done and window filled.
+	Seeded bool
+	Primed bool
+
+	// Walk position (meaningful when Seeded).
+	Steps   int64 // transitions taken
+	HasPrev bool
+	Cur     []int32
+	Prev    []int32
+
+	// Sliding window in walk order, oldest first (meaningful when Primed).
+	Win  [][]int32
+	Degs []int
+
+	// Private accumulator (the walker's share of the merged Result).
+	ResSteps     int
+	ValidSamples int
+	Weights      []float64
+	TypeCounts   []int64
+	StarAcc      float64
+}
+
+// EnsembleState is the serializable state of a whole estimation run.
+type EnsembleState struct {
+	// Config is the configuration the state was captured under; Restore
+	// refuses a mismatch (a resumed run must re-create the same trajectory).
+	Config Config
+	// WindowsDone is the ensemble-wide checkpoint target reached: the number
+	// of windows processed, summed over walkers, when the snapshot was taken.
+	WindowsDone int
+	Walkers     []WalkerState
+}
+
+// Binary layout: magic, format version, Config, WindowsDone, then each
+// walker. Integers are varints (zigzag for signed), float64s are fixed
+// 8-byte IEEE-754 bits (exact round-trip), booleans are packed into flag
+// bytes. The format is version-gated: decoding a snapshot written by a
+// future format fails loudly instead of misinterpreting it.
+const (
+	stateMagic   = "GEST"
+	stateVersion = 1
+
+	// Decode-side sanity caps: a corrupt length prefix must produce an error,
+	// not an absurd allocation.
+	maxStateWalkers = 1 << 16
+	maxStateWindow  = 64
+	maxStateTypes   = 4096
+)
+
+// Encode renders the state as a versioned binary blob.
+func (st *EnsembleState) Encode() []byte {
+	buf := make([]byte, 0, 256+len(st.Walkers)*256)
+	buf = append(buf, stateMagic...)
+	buf = binary.AppendUvarint(buf, stateVersion)
+
+	c := st.Config
+	buf = binary.AppendVarint(buf, int64(c.K))
+	buf = binary.AppendVarint(buf, int64(c.D))
+	buf = append(buf, packBools(c.CSS, c.NB, c.RecoverStars))
+	buf = binary.AppendVarint(buf, int64(c.BurnIn))
+	buf = binary.AppendVarint(buf, int64(c.Walkers))
+	buf = binary.AppendVarint(buf, c.Seed)
+
+	buf = binary.AppendVarint(buf, int64(st.WindowsDone))
+	buf = binary.AppendUvarint(buf, uint64(len(st.Walkers)))
+	for i := range st.Walkers {
+		buf = st.Walkers[i].encode(buf)
+	}
+	return buf
+}
+
+func (w *WalkerState) encode(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, w.RNGPos)
+	buf = append(buf, packBools(w.Seeded, w.Primed, w.HasPrev))
+	buf = binary.AppendVarint(buf, w.Steps)
+	buf = appendNodes(buf, w.Cur)
+	buf = appendNodes(buf, w.Prev)
+	buf = binary.AppendUvarint(buf, uint64(len(w.Win)))
+	for _, s := range w.Win {
+		buf = appendNodes(buf, s)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(w.Degs)))
+	for _, d := range w.Degs {
+		buf = binary.AppendVarint(buf, int64(d))
+	}
+	buf = binary.AppendVarint(buf, int64(w.ResSteps))
+	buf = binary.AppendVarint(buf, int64(w.ValidSamples))
+	buf = binary.AppendUvarint(buf, uint64(len(w.Weights)))
+	for _, f := range w.Weights {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(w.TypeCounts)))
+	for _, n := range w.TypeCounts {
+		buf = binary.AppendVarint(buf, n)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w.StarAcc))
+	return buf
+}
+
+func appendNodes(buf []byte, nodes []int32) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(nodes)))
+	for _, v := range nodes {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	return buf
+}
+
+func packBools(bs ...bool) byte {
+	var b byte
+	for i, v := range bs {
+		if v {
+			b |= 1 << uint(i)
+		}
+	}
+	return b
+}
+
+// DecodeEnsembleState parses a blob produced by Encode. Every length and
+// range is validated, so arbitrary (truncated, corrupt, adversarial) input
+// produces an error, never a panic or an absurd allocation.
+func DecodeEnsembleState(data []byte) (*EnsembleState, error) {
+	d := &stateDecoder{data: data}
+	if string(d.bytes(len(stateMagic))) != stateMagic {
+		return nil, fmt.Errorf("core: ensemble state: bad magic")
+	}
+	if v := d.uvarint(); d.err == nil && v != stateVersion {
+		return nil, fmt.Errorf("core: ensemble state: unsupported format version %d (have %d)", v, stateVersion)
+	}
+
+	st := &EnsembleState{}
+	st.Config.K = int(d.varint())
+	st.Config.D = int(d.varint())
+	st.Config.CSS, st.Config.NB, st.Config.RecoverStars = d.unpackBools()
+	st.Config.BurnIn = int(d.varint())
+	st.Config.Walkers = int(d.varint())
+	st.Config.Seed = d.varint()
+
+	st.WindowsDone = int(d.varint())
+	n := d.uvarint()
+	if d.err == nil && n > maxStateWalkers {
+		return nil, fmt.Errorf("core: ensemble state: %d walkers exceeds cap", n)
+	}
+	if d.err == nil {
+		st.Walkers = make([]WalkerState, n)
+		for i := range st.Walkers {
+			st.Walkers[i].decode(d)
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("core: ensemble state: %w", d.err)
+	}
+	if d.off != len(d.data) {
+		return nil, fmt.Errorf("core: ensemble state: %d trailing bytes", len(d.data)-d.off)
+	}
+	if st.WindowsDone < 0 {
+		return nil, fmt.Errorf("core: ensemble state: negative windows done %d", st.WindowsDone)
+	}
+	return st, nil
+}
+
+func (w *WalkerState) decode(d *stateDecoder) {
+	w.RNGPos = d.uvarint()
+	w.Seeded, w.Primed, w.HasPrev = d.unpackBools()
+	w.Steps = d.varint()
+	w.Cur = d.nodes()
+	w.Prev = d.nodes()
+	nWin := d.uvarint()
+	if d.err == nil && nWin > maxStateWindow {
+		d.fail("window length %d exceeds cap", nWin)
+	}
+	if d.err == nil && nWin > 0 {
+		w.Win = make([][]int32, nWin)
+		for i := range w.Win {
+			w.Win[i] = d.nodes()
+		}
+	}
+	nDeg := d.uvarint()
+	if d.err == nil && nDeg > maxStateWindow {
+		d.fail("degree list length %d exceeds cap", nDeg)
+	}
+	if d.err == nil && nDeg > 0 {
+		w.Degs = make([]int, nDeg)
+		for i := range w.Degs {
+			w.Degs[i] = int(d.varint())
+		}
+	}
+	w.ResSteps = int(d.varint())
+	w.ValidSamples = int(d.varint())
+	nW := d.uvarint()
+	if d.err == nil && nW > maxStateTypes {
+		d.fail("weights length %d exceeds cap", nW)
+	}
+	if d.err == nil && nW > 0 {
+		w.Weights = make([]float64, nW)
+		for i := range w.Weights {
+			w.Weights[i] = d.float64()
+		}
+	}
+	nT := d.uvarint()
+	if d.err == nil && nT > maxStateTypes {
+		d.fail("type counts length %d exceeds cap", nT)
+	}
+	if d.err == nil && nT > 0 {
+		w.TypeCounts = make([]int64, nT)
+		for i := range w.TypeCounts {
+			w.TypeCounts[i] = d.varint()
+		}
+	}
+	w.StarAcc = d.float64()
+}
+
+// unpackBools reads a flag byte written by packBools; unknown high bits are
+// rejected (they would belong to a format this decoder does not understand).
+func (d *stateDecoder) unpackBools() (bool, bool, bool) {
+	b := d.byte()
+	if b&^byte(7) != 0 {
+		d.fail("unknown flag bits 0x%02x", b)
+	}
+	return b&1 != 0, b&2 != 0, b&4 != 0
+}
+
+// stateDecoder is a bounds-checked cursor over an encoded blob; the first
+// failure sticks and every later read returns zero values.
+type stateDecoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *stateDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *stateDecoder) bytes(n int) []byte {
+	if d.err != nil || d.off+n > len(d.data) {
+		d.fail("truncated at offset %d", d.off)
+		return make([]byte, n)
+	}
+	out := d.data[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *stateDecoder) byte() byte { return d.bytes(1)[0] }
+
+func (d *stateDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *stateDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// float64 reads a fixed 8-byte IEEE-754 value. The accumulator fields are
+// finite sums of finite weights, so NaN or Inf here is corruption.
+func (d *stateDecoder) float64() float64 {
+	f := math.Float64frombits(binary.LittleEndian.Uint64(d.bytes(8)))
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		d.fail("non-finite accumulator value")
+	}
+	return f
+}
+
+// nodes reads a node list, bounding its length by the walk-state maximum.
+func (d *stateDecoder) nodes() []int32 {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > walk.MaxD {
+		d.fail("state of %d nodes exceeds walk.MaxD", n)
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(d.varint())
+	}
+	return out
+}
+
+// stateOf validates a decoded node list as a walk state with exactly want
+// nodes (walk.StateOf panics on duplicates, which decode-side validation
+// must turn into errors).
+func stateOf(nodes []int32, want int) (walk.State, error) {
+	if len(nodes) != want {
+		return walk.State{}, fmt.Errorf("core: state has %d nodes, want %d", len(nodes), want)
+	}
+	sorted := append([]int32(nil), nodes...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return walk.State{}, fmt.Errorf("core: state has duplicate node %d", sorted[i])
+		}
+	}
+	return walk.StateOf(sorted...), nil
+}

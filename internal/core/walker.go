@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/access"
 	"repro/internal/graphlet"
@@ -25,7 +24,8 @@ type walker struct {
 	client access.Client
 	space  walk.Space
 	w      *walk.Walk
-	rng    *rand.Rand
+	seed   int64      // walker-specific seed (walkerSeed); rebuilds rng on restore
+	rng    *walk.Rand // position-counted so checkpoints can snapshot the stream
 
 	l     int
 	alpha []int64 // α per type (paper order)
@@ -59,7 +59,8 @@ func newWalker(client access.Client, cfg Config, seed int64) *walker {
 		cfg:    cfg,
 		client: client,
 		space:  walk.NewSpace(client, cfg.D),
-		rng:    rand.New(rand.NewSource(seed)),
+		seed:   seed,
+		rng:    walk.NewRand(seed),
 		l:      l,
 		alpha:  alpha,
 		win:    make([]walk.State, l),
@@ -88,7 +89,7 @@ func (wk *walker) reset() {
 // concurrent phase.
 func (wk *walker) ensureSeeded() {
 	if !wk.seeded {
-		wk.w = walk.New(wk.space, wk.cfg.NB, wk.rng)
+		wk.w = walk.New(wk.space, wk.cfg.NB, wk.rng.Rand)
 		wk.seeded = true
 	}
 }
@@ -273,4 +274,115 @@ func nominal(d int) int {
 // Algorithm 3) for the walker's configuration.
 func (wk *walker) samplingProbability(nodes []int32) float64 {
 	return samplingProbabilityWith(wk.client, wk.space, wk.cfg.K, wk.cfg.D, wk.cfg.NB, nodes, &wk.chainNodes)
+}
+
+// snapshot exports the walker's complete resumable state. Only safe while
+// the walker is quiescent (between ensemble stages); read-only, so taking a
+// snapshot never perturbs the run.
+func (wk *walker) snapshot() WalkerState {
+	st := WalkerState{
+		RNGPos: wk.rng.Pos(),
+		Seeded: wk.seeded,
+		Primed: wk.primed,
+	}
+	if wk.res != nil {
+		st.ResSteps = wk.res.Steps
+		st.ValidSamples = wk.res.ValidSamples
+		st.Weights = append([]float64(nil), wk.res.Weights...)
+		st.TypeCounts = append([]int64(nil), wk.res.TypeCounts...)
+		st.StarAcc = wk.res.StarAcc
+	} else {
+		st.Weights = make([]float64, len(wk.alpha))
+		st.TypeCounts = make([]int64, len(wk.alpha))
+	}
+	if wk.seeded {
+		ws := wk.w.State()
+		st.Steps = ws.Steps
+		st.HasPrev = ws.HasPrev
+		st.Cur = ws.Cur.Nodes(nil)
+		if ws.HasPrev {
+			st.Prev = ws.Prev.Nodes(nil)
+		}
+	}
+	if wk.primed {
+		st.Win = make([][]int32, wk.l)
+		st.Degs = make([]int, wk.l)
+		for i := 0; i < wk.l; i++ {
+			s, d := wk.windowAt(i)
+			st.Win[i] = s.Nodes(nil)
+			st.Degs[i] = d
+		}
+	}
+	return st
+}
+
+// restore rebuilds the walker from an exported state: a fresh space (its
+// caches are derived), the RNG fast-forwarded to the recorded stream
+// position, the walk at its recorded position, the window in canonical ring
+// order, and the private accumulator. On error the walker may be left
+// partially mutated; callers discard the whole estimator then.
+func (wk *walker) restore(st WalkerState) error {
+	if len(st.Weights) != len(wk.alpha) || len(st.TypeCounts) != len(wk.alpha) {
+		return fmt.Errorf("core: restore: accumulator has %d/%d types, want %d",
+			len(st.Weights), len(st.TypeCounts), len(wk.alpha))
+	}
+	if st.ResSteps < 0 || st.ValidSamples < 0 || st.Steps < 0 {
+		return fmt.Errorf("core: restore: negative counters")
+	}
+	if st.Primed && !st.Seeded {
+		return fmt.Errorf("core: restore: primed walker without a start state")
+	}
+	wk.res = &Result{
+		Config:       wk.cfg,
+		Steps:        st.ResSteps,
+		ValidSamples: st.ValidSamples,
+		Weights:      append([]float64(nil), st.Weights...),
+		TypeCounts:   append([]int64(nil), st.TypeCounts...),
+		StarAcc:      st.StarAcc,
+	}
+	if wk.cfg.RecoverStars {
+		wk.res.applyStarRecovery()
+	}
+	wk.rng = walk.NewRandAt(wk.seed, st.RNGPos)
+	wk.space = walk.NewSpace(wk.client, wk.cfg.D)
+	wk.seeded = st.Seeded
+	wk.primed = st.Primed
+	wk.winLen, wk.ring = 0, 0
+	if !st.Seeded {
+		wk.w = nil
+		return nil
+	}
+	ws := walk.WalkState{Steps: st.Steps, HasPrev: st.HasPrev}
+	var err error
+	if ws.Cur, err = stateOf(st.Cur, wk.cfg.D); err != nil {
+		return fmt.Errorf("core: restore current state: %w", err)
+	}
+	if st.HasPrev {
+		if ws.Prev, err = stateOf(st.Prev, wk.cfg.D); err != nil {
+			return fmt.Errorf("core: restore previous state: %w", err)
+		}
+	}
+	wk.w = walk.Resume(wk.space, ws, wk.cfg.NB, wk.rng.Rand)
+	if st.Primed {
+		if len(st.Win) != wk.l || len(st.Degs) != wk.l {
+			return fmt.Errorf("core: restore: window of %d states/%d degrees, want %d",
+				len(st.Win), len(st.Degs), wk.l)
+		}
+		for i := 0; i < wk.l; i++ {
+			s, err := stateOf(st.Win[i], wk.cfg.D)
+			if err != nil {
+				return fmt.Errorf("core: restore window[%d]: %w", i, err)
+			}
+			if st.Degs[i] < 0 {
+				return fmt.Errorf("core: restore: negative degree %d", st.Degs[i])
+			}
+			wk.win[i] = s
+			wk.degs[i] = st.Degs[i]
+		}
+		// Canonical ring orientation: windowAt(i) = win[(ring+i)%l], so
+		// restoring oldest-first with ring = 0 reproduces the same window
+		// sequence regardless of where the original ring index stood.
+		wk.winLen, wk.ring = wk.l, 0
+	}
+	return nil
 }

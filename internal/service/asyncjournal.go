@@ -1,0 +1,204 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/service/journal"
+)
+
+// The asynchronous journal pipeline: state transitions enqueue their records
+// under Manager.mu — which fixes the on-disk order to match the in-memory
+// transition order — but the actual writes (and fsyncs, and compactions)
+// happen on a single writer goroutine draining the queue FIFO. A slow disk
+// under -fsync therefore stalls the writer, never the API surface: Submit,
+// checkpoint callbacks and finishes release Manager.mu immediately after the
+// (in-memory) enqueue.
+//
+// The trade-off is a bounded durability window: a record is on disk a queue
+// drain after its transition, not before the submitter's HTTP response. A
+// crash can lose the tail of the queue — the same tail a non-fsync
+// synchronous journal could lose from the page cache — and recovery handles
+// any prefix of the history by construction.
+
+// jnlOp is one unit of the ordered append queue: a record append, a
+// compaction request, or a barrier (close the channel once everything ahead
+// of it has reached the journal — tests use this to simulate crashes at
+// known durability points).
+type jnlOp struct {
+	rec     journal.Record
+	compact bool
+	barrier chan struct{}
+}
+
+// appendQueue is an unbounded FIFO of journal operations. Unbounded is the
+// point: a bounded queue would re-couple the API to disk speed the moment it
+// filled, and queue memory is bounded in practice by job activity (records
+// are a few KB; the writer drains at disk speed).
+type appendQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ops    []jnlOp
+	closed bool
+}
+
+func newAppendQueue() *appendQueue {
+	q := &appendQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues op; it reports false once the queue is closed (the op is
+// dropped — the manager is shutting down).
+func (q *appendQueue) push(op jnlOp) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.ops = append(q.ops, op)
+	q.cond.Signal()
+	return true
+}
+
+// next blocks until operations are available and returns the whole batch in
+// FIFO order. ok is false once the queue is closed and drained.
+func (q *appendQueue) next() (ops []jnlOp, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.ops) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	ops, q.ops = q.ops, nil
+	return ops, !q.closed || len(ops) > 0
+}
+
+// close marks the queue closed; the writer drains what is already queued and
+// exits.
+func (q *appendQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// journalWriter is the single goroutine draining the append queue into the
+// journal in order.
+func (m *Manager) journalWriter() {
+	defer m.jnlWg.Done()
+	for {
+		ops, ok := m.jq.next()
+		for _, op := range ops {
+			switch {
+			case op.barrier != nil:
+				close(op.barrier)
+			case op.compact:
+				m.compactJournalAsync()
+			default:
+				if err := m.jnl.Append(op.rec); err != nil {
+					m.noteJournalErr()
+				}
+			}
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// syncJournal blocks until every journal operation enqueued before the call
+// has been written (and requested compactions have completed). Tests use it
+// to pin the on-disk log to a known state before simulating a crash; it is
+// not on any serving path.
+func (m *Manager) syncJournal() {
+	if m.jnl == nil {
+		return
+	}
+	ch := make(chan struct{})
+	if !m.jq.push(jnlOp{barrier: ch}) {
+		return
+	}
+	<-ch
+}
+
+// noteJournalErr counts a failed journal operation (the daemon keeps serving
+// from memory; the counter is surfaced in Stats as degraded durability).
+func (m *Manager) noteJournalErr() {
+	m.mu.Lock()
+	m.journalErrs++
+	m.mu.Unlock()
+}
+
+// compactJournalAsync runs one compaction on the writer goroutine. The keep
+// decision needs the job table and cache-owner set, which Manager.mu guards:
+// they are snapshotted under the lock, then the (slow) segment rewrite runs
+// without it. Records enqueued before this operation are already on disk
+// (FIFO queue); records enqueued after it land in the post-compaction
+// segment — so a snapshot taken here is consistent with everything the
+// compaction can see.
+func (m *Manager) compactJournalAsync() {
+	m.mu.Lock()
+	m.compactQueued = false
+	terminal := make(map[string]bool, len(m.jobs))
+	for id, j := range m.jobs {
+		terminal[id] = j.state.terminal()
+	}
+	owners := m.cache.ownerSet()
+	m.mu.Unlock()
+
+	keep, err := m.newKeepFunc(terminal, owners)
+	if err == nil {
+		err = m.jnl.Compact(keep)
+	}
+	if err != nil {
+		m.noteJournalErr()
+	}
+}
+
+// newKeepFunc builds the compaction retention rule over a consistent
+// snapshot of the job table: cache-owning jobs keep their submitted/done
+// pair (so a restart re-warms the LRU even after the producing job was
+// pruned); jobs still in the table keep their submitted records, terminal
+// jobs their terminal record, and live jobs their started record plus their
+// *latest* checkpoint — the one carrying the resume snapshot replay would
+// pick anyway ("latest wins"); earlier checkpoints are superseded, and
+// keeping them would grow the log with run length instead of the job table.
+// Spotting the latest needs a pre-scan (the filter sees one record at a
+// time), which is safe because appends and compactions are serialized on
+// the journal writer goroutine — nothing lands between the scan and the
+// rewrite. The returned filter is single-use: it counts the checkpoints it
+// passes against the pre-scanned totals.
+func (m *Manager) newKeepFunc(terminal, owners map[string]bool) (func(journal.Record) bool, error) {
+	ckptTotal := make(map[string]int)
+	if err := m.jnl.Replay(func(rec journal.Record) error {
+		if rec.Type == journal.TypeCheckpoint {
+			ckptTotal[rec.Job]++
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	ckptSeen := make(map[string]int)
+	return func(rec journal.Record) bool {
+		if rec.Type == journal.TypeCheckpoint {
+			ckptSeen[rec.Job]++
+		}
+		if owners[rec.Job] {
+			return rec.Type == journal.TypeSubmitted || rec.Type == journal.TypeDone
+		}
+		isTerminal, ok := terminal[rec.Job]
+		if !ok {
+			return false
+		}
+		switch rec.Type {
+		case journal.TypeSubmitted:
+			return true
+		case journal.TypeDone, journal.TypeFailed, journal.TypeCanceled:
+			return isTerminal
+		case journal.TypeStarted:
+			return !isTerminal
+		case journal.TypeCheckpoint:
+			return !isTerminal && ckptSeen[rec.Job] == ckptTotal[rec.Job]
+		}
+		return false
+	}, nil
+}

@@ -85,6 +85,17 @@ func (c *resultCache) ownsJob(jobID string) bool {
 	return ok
 }
 
+// ownerSet snapshots the producing-job IDs of all live entries (the async
+// compaction path copies it out from under Manager.mu before rewriting
+// segments without the lock).
+func (c *resultCache) ownerSet() map[string]bool {
+	out := make(map[string]bool, len(c.owners))
+	for id := range c.owners {
+		out[id] = true
+	}
+	return out
+}
+
 // dropGraph removes every entry keyed to the named graph (the graph was
 // unregistered; its results must not outlive it) and reports how many were
 // purged.

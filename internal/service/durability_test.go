@@ -82,6 +82,9 @@ func TestRestartRecovery(t *testing.T) {
 	}
 	// Crash: mgr1 is abandoned without Close, so no terminal records reach
 	// the journal for B or C — exactly the state a SIGKILL leaves behind.
+	// The barrier pins the async append queue to disk first: it stands in
+	// for the OS page cache, which survives a real SIGKILL.
+	mgr1.syncJournal()
 
 	mgr2 := newTestManager(t, reg, Options{Workers: 2, MaxWalkers: 2, DataDir: dir})
 	defer mgr2.Close()
@@ -205,6 +208,7 @@ func TestRestartRefusesRemappedGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitState(t, mgr1, interrupted.ID, StateRunning)
+	mgr1.syncJournal() // flush the async queue, as the page cache would survive a SIGKILL
 	// Crash without Close, then restart with "g" bound to different topology.
 	regB := NewRegistry()
 	if err := regB.Add("g", "inline", gen.PowerLawConfiguration(500, 2.5, 2, 60, 12)); err != nil {

@@ -21,7 +21,10 @@ import (
 //	                                 JobView (200 when a cache hit answers it
 //	                                 instantly)
 //	GET    /v1/jobs               -> all jobs in submission order
-//	GET    /v1/jobs/{id}          -> one JobView with live progress
+//	GET    /v1/jobs/{id}          -> one JobView with live progress; a job
+//	                                 resumed from a journal checkpoint after
+//	                                 a crash reports progress.resumed_steps,
+//	                                 the pre-crash steps it preserved
 //	GET    /v1/jobs/{id}/events   -> server-sent events: a "snapshot" event,
 //	                                 then "checkpoint" events at every
 //	                                 progress barrier, then the terminal

@@ -75,6 +75,11 @@ type Progress struct {
 	Steps         int       `json:"steps"`
 	Total         int       `json:"total"`
 	Concentration []float64 `json:"concentration,omitempty"`
+	// ResumedSteps is the number of pre-crash steps this job kept by
+	// restoring a journaled checkpoint snapshot instead of restarting from
+	// step 0 (0 for jobs that never crashed — or whose snapshot could not be
+	// restored, in which case they restart from scratch).
+	ResumedSteps int `json:"resumed_steps,omitempty"`
 }
 
 // job is the Manager-internal mutable record; all fields are guarded by
@@ -94,6 +99,12 @@ type job struct {
 	cancel    context.CancelFunc
 	done      chan struct{}   // closed on reaching a terminal state
 	subs      []chan JobEvent // live event streams (SSE); closed on finish
+
+	// resumeSnap/resumeSteps carry the latest journaled checkpoint snapshot
+	// of a recovery-re-queued job: the worker restores the engine from it at
+	// dispatch, and the scheduler charges only the remaining budget.
+	resumeSnap  []byte
+	resumeSteps int
 }
 
 // JobView is the immutable client-facing snapshot of a job.
@@ -152,6 +163,12 @@ type Stats struct {
 	QueueByClass map[string]int `json:"queue_by_class,omitempty"`
 	// RecoveredJobs counts jobs re-queued by journal replay at startup.
 	RecoveredJobs int `json:"recovered_jobs"`
+	// ResumableJobs counts recovered jobs that carried a checkpoint snapshot
+	// (re-queued mid-budget rather than from step 0).
+	ResumableJobs int `json:"resumable_jobs,omitempty"`
+	// ResumedSteps is the cumulative number of walk steps saved by restoring
+	// checkpoint snapshots instead of restarting interrupted jobs.
+	ResumedSteps int64 `json:"resumed_steps"`
 	// WarmedResults counts cache entries restored from the journal.
 	WarmedResults int `json:"warmed_results"`
 	// JournalSegments is the on-disk segment count (0 without -data-dir).
@@ -245,23 +262,31 @@ type Manager struct {
 	reg  *Registry
 	opts Options
 
-	mu          sync.Mutex
-	jobs        map[string]*job
-	order       []string      // submission order, for List
-	inflight    map[Spec]*job // non-terminal job per spec key (single flight)
-	cache       *resultCache
-	jnl         *journal.Log
-	sched       *scheduler
-	nextID      int
-	runs        int
-	cacheHits   int
-	coalesced   int
-	active      int
-	recovered   int
-	warmed      int
-	journalErrs int
-	replaying   bool
-	closed      bool
+	mu            sync.Mutex
+	jobs          map[string]*job
+	order         []string      // submission order, for List
+	inflight      map[Spec]*job // non-terminal job per spec key (single flight)
+	cache         *resultCache
+	jnl           *journal.Log
+	sched         *scheduler
+	nextID        int
+	runs          int
+	cacheHits     int
+	coalesced     int
+	active        int
+	recovered     int
+	resumable     int
+	resumedSteps  int64
+	warmed        int
+	journalErrs   int
+	compactQueued bool
+	replaying     bool
+	closed        bool
+
+	// jq is the ordered append queue between state transitions (enqueued
+	// under mu) and the journal writer goroutine (asyncjournal.go).
+	jq    *appendQueue
+	jnlWg sync.WaitGroup
 
 	wg sync.WaitGroup
 }
@@ -278,6 +303,7 @@ func NewManager(reg *Registry, opts Options) (*Manager, error) {
 		inflight: make(map[Spec]*job),
 		cache:    newResultCache(opts.CacheSize),
 		sched:    newScheduler(opts.QueueCap),
+		jq:       newAppendQueue(),
 	}
 	if opts.DataDir != "" {
 		jnl, err := journal.Open(filepath.Join(opts.DataDir, "journal"), journal.Options{
@@ -292,6 +318,8 @@ func NewManager(reg *Registry, opts Options) (*Manager, error) {
 			jnl.Close()
 			return nil, err
 		}
+		m.jnlWg.Add(1)
+		go m.journalWriter()
 	}
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
@@ -321,6 +349,9 @@ func (m *Manager) Close() {
 	m.mu.Unlock()
 	m.wg.Wait()
 	if m.jnl != nil {
+		// Workers are gone; drain whatever they enqueued, then close shop.
+		m.jq.close()
+		m.jnlWg.Wait()
 		m.jnl.Close()
 	}
 }
@@ -385,6 +416,12 @@ func (m *Manager) Submit(spec Spec) (JobView, error) {
 		if j.state == StateQueued && priorityRank(spec.Priority) > priorityRank(j.spec.Priority) {
 			if m.sched.promote(j, spec.Priority) {
 				j.spec.Priority = spec.Priority
+				// Re-journal the admission with the effective class: replay
+				// applies submitted records last-wins, so a crash after the
+				// promotion re-queues the job at its promoted priority
+				// instead of silently demoting it.
+				m.journalAppendLocked(journal.TypeSubmitted, j.id,
+					recSubmitted{Spec: j.spec, GraphMeta: m.graphMeta(j.spec.Graph)})
 			}
 		}
 		return j.view(), nil
@@ -441,8 +478,30 @@ func (m *Manager) finishLocked(j *job, state State, res *core.Result, err error)
 	if err != nil {
 		j.errMsg = err.Error()
 	}
+	j.resumeSnap, j.resumeSteps = nil, 0 // snapshots die with the run
 	m.journalTerminalLocked(j)
-	m.notifySubsLocked(j, string(state))
+	// Terminal delivery is guaranteed even to slow subscribers: if a
+	// buffer is full, the oldest checkpoint is dropped to make room — all
+	// sends happen under m.mu, so the freed slot cannot be stolen. (The
+	// job may be pruned from the table right below, so the handler's
+	// fetch-final-state fallback cannot be relied on here.)
+	if len(j.subs) > 0 {
+		ev := JobEvent{Type: string(state), Job: j.view()}
+		for _, ch := range j.subs {
+			select {
+			case ch <- ev:
+			default:
+				select {
+				case <-ch:
+				default:
+				}
+				select {
+				case ch <- ev:
+				default:
+				}
+			}
+		}
+	}
 	for _, ch := range j.subs {
 		close(ch)
 	}
@@ -561,7 +620,12 @@ func (m *Manager) runJob(j *job) {
 	j.cancel = cancel
 	m.active++
 	m.runs++
-	m.journalAppendLocked(journal.TypeStarted, j.id, nil)
+	resumeSnap, resumeSteps := j.resumeSnap, j.resumeSteps
+	var started any
+	if resumeSteps > 0 {
+		started = recStarted{ResumedSteps: resumeSteps}
+	}
+	m.journalAppendLocked(journal.TypeStarted, j.id, started)
 	m.mu.Unlock()
 
 	g, ok := m.reg.Get(j.spec.Graph)
@@ -577,6 +641,37 @@ func (m *Manager) runJob(j *job) {
 		m.settle(j, nil, err)
 		return
 	}
+	// Restore a recovered checkpoint snapshot, outside m.mu: the RNG
+	// fast-forward is O(pre-crash steps). Any failure — a corrupt or
+	// version-incompatible snapshot, a config mismatch — degrades to the
+	// PR-4 behavior: discard the (possibly half-restored) estimator and run
+	// the whole budget from scratch. Resume is an optimization; it must
+	// never be able to fail a job.
+	resumed := 0
+	if len(resumeSnap) > 0 {
+		if st, derr := core.DecodeEnsembleState(resumeSnap); derr == nil {
+			if rerr := est.Restore(st); rerr == nil {
+				resumed = st.WindowsDone
+			} else {
+				est, err = core.NewEstimator(m.opts.NewClient(g), j.spec.config())
+				if err != nil {
+					m.settle(j, nil, err)
+					return
+				}
+			}
+		}
+	}
+	m.mu.Lock()
+	j.progress.ResumedSteps = resumed
+	if resumed > 0 {
+		j.progress.Steps = resumed
+		m.resumedSteps += int64(resumed)
+	} else if len(resumeSnap) > 0 {
+		// Restore failed: the replayed pre-crash progress no longer
+		// describes this (from-scratch) run.
+		j.progress = Progress{Total: j.spec.Steps}
+	}
+	m.mu.Unlock()
 	// The seed draw runs outside the engine's per-walker panic guard, and
 	// crawl clients report transport failures by panicking — a panic here
 	// must fail this job, not kill the daemon and its other jobs.
@@ -588,13 +683,22 @@ func (m *Manager) runJob(j *job) {
 		}()
 		return est.RunCheckpointsCtx(ctx, j.spec.Steps, m.snapshotEvery(j.spec.Steps),
 			func(step int, conc []float64) {
+				// Snapshot while the walkers park at the barrier, before
+				// taking the manager lock: encoding is pure CPU over
+				// walker-private state. Skipped entirely for volatile
+				// managers — without a journal the blob would be discarded.
+				var snap []byte
+				if m.jnl != nil {
+					snap = est.Snapshot().Encode()
+				}
 				m.mu.Lock()
 				j.progress.Steps = step
 				j.progress.Concentration = conc
-				// One checkpoint, two consumers: the journal (restart-safe
-				// progress) and any live event streams.
+				// One checkpoint, three consumers: restart-safe progress,
+				// the resume snapshot, and any live event streams. The
+				// journal write itself happens on the writer goroutine.
 				m.journalAppendLocked(journal.TypeCheckpoint, j.id,
-					recCheckpoint{Steps: step, Concentration: conc})
+					recCheckpoint{V: checkpointV2, Steps: step, Concentration: conc, Snapshot: snap})
 				m.notifySubsLocked(j, "checkpoint")
 				m.mu.Unlock()
 			})
@@ -710,6 +814,8 @@ func (m *Manager) Stats() Stats {
 		GraphsCount:   len(m.reg.List()),
 		QueueByClass:  m.sched.depthByClass(),
 		RecoveredJobs: m.recovered,
+		ResumableJobs: m.resumable,
+		ResumedSteps:  m.resumedSteps,
 		WarmedResults: m.warmed,
 		JournalErrors: m.journalErrs,
 	}

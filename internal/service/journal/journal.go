@@ -55,6 +55,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -153,6 +154,10 @@ type Log struct {
 	dir  string
 	opts Options
 
+	// segCount mirrors len(sealed)+1 outside the lock, so Segments never
+	// blocks behind an in-flight append (which may be fsyncing a slow disk).
+	segCount atomic.Int64
+
 	mu         sync.Mutex
 	active     *os.File
 	activeIdx  int
@@ -191,6 +196,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	l.active, l.activeIdx, l.activeSize = f, last, size
+	l.setSegCountLocked()
 	return l, nil
 }
 
@@ -242,6 +248,7 @@ func (l *Log) startSegment(idx int) error {
 		return fmt.Errorf("journal: %w", err)
 	}
 	l.active, l.activeIdx, l.activeSize = f, idx, int64(len(hdr))
+	l.setSegCountLocked()
 	return nil
 }
 
@@ -476,14 +483,21 @@ func replaySegment(path string, fn func(Record) error) error {
 }
 
 // Segments returns how many segment files the log currently spans (sealed
-// plus active). Compaction policy hooks on this.
+// plus active). Compaction policy hooks on this. It reads a mirrored count
+// without taking the log's lock, so callers holding their own locks are
+// never stalled behind a slow in-flight append.
 func (l *Log) Segments() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.active == nil {
-		return len(l.sealed)
+	return int(l.segCount.Load())
+}
+
+// setSegCountLocked refreshes the lock-free segment-count mirror. Caller
+// holds l.mu (or is constructing the Log).
+func (l *Log) setSegCountLocked() {
+	n := len(l.sealed)
+	if l.active != nil {
+		n++
 	}
-	return len(l.sealed) + 1
+	l.segCount.Store(int64(n))
 }
 
 // Size returns the total on-disk byte size of the log.
@@ -575,6 +589,7 @@ func (l *Log) Compact(keep func(Record) bool) error {
 		return fmt.Errorf("journal: compact: %w", err)
 	}
 	l.active, l.activeIdx, l.activeSize, l.sealed = f, newIdx, st.Size(), nil
+	l.setSegCountLocked()
 	return nil
 }
 
@@ -603,6 +618,7 @@ func (l *Log) Close() error {
 		err = cerr
 	}
 	l.active = nil
+	l.setSegCountLocked()
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}

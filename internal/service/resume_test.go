@@ -1,0 +1,386 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/graph"
+	"repro/internal/service/journal"
+)
+
+// stallClient passes calls through until the switch flips, then blocks the
+// walkers mid-step forever — freezing a run at whatever checkpoint it last
+// journaled, the way a SIGKILL freezes a real daemon.
+type stallClient struct {
+	access.Client
+	stall *atomic.Bool
+	gate  <-chan struct{}
+}
+
+func (c stallClient) Degree(v int32) int {
+	if c.stall.Load() {
+		<-c.gate
+	}
+	return c.Client.Degree(v)
+}
+
+// The resume acceptance test, end to end: a job killed past 50% of its step
+// budget re-queues from its journaled checkpoint snapshot, preserving >= 90%
+// of the completed steps (here: all steps up to the last checkpoint), and
+// the resumed run's final result is byte-identical to an uninterrupted run
+// of the same spec and seed.
+func TestResumeAfterCrashByteIdentical(t *testing.T) {
+	spec := Spec{Graph: "hk", K: 4, D: 2, CSS: true, Steps: 30000, Walkers: 2, Seed: 1234}
+
+	// Reference: the uninterrupted run.
+	refReg := testRegistry(t)
+	refMgr := newTestManager(t, refReg, Options{Workers: 1, MaxWalkers: 2, SnapshotEvery: 1000})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	ref, err := refMgr.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref, err = refMgr.Wait(ctx, ref.ID); err != nil || ref.State != StateDone {
+		t.Fatalf("reference run: %+v, %v", ref, err)
+	}
+	refMgr.Close()
+
+	// The crashing daemon: progress past 50%, then freeze the walkers and
+	// abandon the manager (no Close → no terminal record), SIGKILL-style.
+	dir := t.TempDir()
+	reg1 := testRegistry(t)
+	var stall atomic.Bool
+	gate := make(chan struct{}) // never closed: the frozen walkers never finish
+	mgr1 := newTestManager(t, reg1, Options{
+		Workers: 1, MaxWalkers: 2, SnapshotEvery: 1000, DataDir: dir,
+		NewClient: func(g *graph.Graph) access.Client {
+			return stallClient{Client: access.NewGraphClient(g), stall: &stall, gate: gate}
+		},
+	})
+	v, err := mgr1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached 50% of its budget")
+		}
+		jv, ok := mgr1.Get(v.ID)
+		if !ok {
+			t.Fatal("job vanished")
+		}
+		if jv.State.terminal() {
+			t.Fatalf("job finished before the crash: %+v", jv)
+		}
+		if jv.Progress.Steps >= spec.Steps/2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stall.Store(true)
+	mgr1.syncJournal() // the page cache survives a SIGKILL; the barrier stands in for it
+
+	// Restart on the same data dir with an ungated client; the job resumes
+	// mid-budget and completes.
+	reg2 := testRegistry(t)
+	mgr2 := newTestManager(t, reg2, Options{Workers: 1, MaxWalkers: 2, SnapshotEvery: 1000, DataDir: dir})
+	defer mgr2.Close()
+	st := mgr2.Stats()
+	if st.RecoveredJobs != 1 || st.ResumableJobs != 1 {
+		t.Fatalf("stats after restart: %+v, want 1 recovered / 1 resumable", st)
+	}
+	final, err := mgr2.Wait(ctx, v.ID)
+	if err != nil || final.State != StateDone {
+		t.Fatalf("resumed job: %+v, %v", final, err)
+	}
+
+	// >= 50% of the budget was preserved (the acceptance bar is 90% of
+	// *completed* steps; with checkpoints every 1000 windows the loss is at
+	// most one checkpoint interval, far under 10% of 15000+ completed steps).
+	if final.Progress.ResumedSteps < spec.Steps/2 {
+		t.Errorf("resumed %d steps, want >= %d", final.Progress.ResumedSteps, spec.Steps/2)
+	}
+	if got := mgr2.Stats().ResumedSteps; got != int64(final.Progress.ResumedSteps) {
+		t.Errorf("stats resumed_steps %d, want %d", got, final.Progress.ResumedSteps)
+	}
+
+	// Byte identity with the uninterrupted run.
+	if final.Result == nil || ref.Result == nil {
+		t.Fatalf("missing results: resumed %+v, reference %+v", final.Result, ref.Result)
+	}
+	if final.Result.Steps != ref.Result.Steps || final.Result.ValidSamples != ref.Result.ValidSamples {
+		t.Fatalf("resumed result shape differs: %+v vs %+v", final.Result, ref.Result)
+	}
+	for i := range ref.Result.Weights {
+		if final.Result.Weights[i] != ref.Result.Weights[i] {
+			t.Fatalf("weight %d differs after resume: %v vs %v",
+				i, final.Result.Weights[i], ref.Result.Weights[i])
+		}
+	}
+	for i := range ref.Result.Concentration {
+		if final.Result.Concentration[i] != ref.Result.Concentration[i] {
+			t.Fatalf("concentration %d differs after resume: %v vs %v",
+				i, final.Result.Concentration[i], ref.Result.Concentration[i])
+		}
+	}
+}
+
+// Compaction while a job is mid-run must keep (exactly) its latest
+// checkpoint snapshot: terminal traffic from other jobs triggers
+// compactions, the log stays bounded, and a crash afterwards still resumes
+// the live job mid-budget.
+func TestCompactionPreservesResume(t *testing.T) {
+	dir := t.TempDir()
+	reg1 := testRegistry(t)
+	hk, _ := reg1.Get("hk")
+	var stall atomic.Bool
+	gate := make(chan struct{})
+	mgr1 := newTestManager(t, reg1, Options{
+		Workers: 2, MaxWalkers: 2, SnapshotEvery: 500, DataDir: dir,
+		SegmentBytes: 2048, CompactSegments: 2,
+		NewClient: func(g *graph.Graph) access.Client {
+			c := access.NewGraphClient(g)
+			if g == hk {
+				return stallClient{Client: c, stall: &stall, gate: gate}
+			}
+			return c
+		},
+	})
+	long := Spec{Graph: "hk", K: 4, D: 2, CSS: true, Steps: 30000, Walkers: 1, Seed: 555}
+	v, err := mgr1.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("long job never reached 50%")
+		}
+		jv, _ := mgr1.Get(v.ID)
+		if jv.Progress.Steps >= long.Steps/2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Terminal traffic on the other graph: every finish may trigger a
+	// compaction, each of which must carry the live job's snapshot forward.
+	for i := 0; i < 6; i++ {
+		qv, err := mgr1.Submit(Spec{Graph: "plc", K: 3, D: 1, Steps: 1500, Walkers: 1, Seed: int64(9000 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qv, err = mgr1.Wait(ctx, qv.ID); err != nil || qv.State != StateDone {
+			t.Fatalf("filler job: %+v, %v", qv, err)
+		}
+	}
+	stall.Store(true)
+	mgr1.syncJournal()
+	if st := mgr1.Stats(); st.JournalErrors != 0 || st.JournalSegments > 4 {
+		t.Fatalf("pre-crash journal state: %+v, want compacted and error-free", st)
+	}
+
+	mgr2 := newTestManager(t, testRegistry(t), Options{Workers: 2, MaxWalkers: 2, SnapshotEvery: 500, DataDir: dir})
+	defer mgr2.Close()
+	if st := mgr2.Stats(); st.ResumableJobs != 1 {
+		t.Fatalf("stats after restart: %+v, want the long job resumable", st)
+	}
+	final, err := mgr2.Wait(ctx, v.ID)
+	if err != nil || final.State != StateDone {
+		t.Fatalf("resumed job: %+v, %v", final, err)
+	}
+	if final.Progress.ResumedSteps < long.Steps/2 {
+		t.Errorf("resumed %d steps after compaction, want >= %d", final.Progress.ResumedSteps, long.Steps/2)
+	}
+}
+
+// A corrupt (or truncated) snapshot in the journal must degrade to the PR-4
+// behavior — re-run from scratch — never fail the job or the recovery.
+func TestCorruptSnapshotFallsBackToScratch(t *testing.T) {
+	dir := t.TempDir()
+	reg := testRegistry(t)
+	info, _ := reg.Info("hk")
+	spec := Spec{Graph: "hk", K: 3, D: 1, Steps: 2000, Walkers: 1, Seed: 77, Priority: PriorityBatch}
+
+	// Hand-write the journal of an interrupted job whose checkpoint carries
+	// garbage where the ensemble snapshot should be.
+	jnl, err := journal.Open(filepath.Join(dir, "journal"), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := func(typ journal.Type, payload any) {
+		t.Helper()
+		rec := journal.Record{Type: typ, Job: "j-1"}
+		if payload != nil {
+			if rec.Payload, err = json.Marshal(payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := jnl.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app(journal.TypeSubmitted, recSubmitted{Spec: spec, GraphMeta: &info})
+	app(journal.TypeStarted, nil)
+	app(journal.TypeCheckpoint, recCheckpoint{
+		V: checkpointV2, Steps: 1000,
+		Concentration: []float64{0.5, 0.5},
+		Snapshot:      []byte("definitely not an ensemble state"),
+	})
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr := newTestManager(t, reg, Options{Workers: 1, MaxWalkers: 2, DataDir: dir})
+	defer mgr.Close()
+	if st := mgr.Stats(); st.RecoveredJobs != 1 || st.ResumableJobs != 1 {
+		t.Fatalf("stats: %+v, want the corrupt-snapshot job re-queued as resumable", st)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	final, err := mgr.Wait(ctx, "j-1")
+	if err != nil || final.State != StateDone {
+		t.Fatalf("job with corrupt snapshot: %+v, %v", final, err)
+	}
+	if final.Progress.ResumedSteps != 0 {
+		t.Errorf("resumed_steps %d from a corrupt snapshot, want 0 (scratch re-run)", final.Progress.ResumedSteps)
+	}
+	if final.Result == nil || final.Result.Steps != spec.Steps {
+		t.Errorf("scratch re-run result: %+v", final.Result)
+	}
+	if st := mgr.Stats(); st.ResumedSteps != 0 {
+		t.Errorf("stats resumed_steps %d, want 0", st.ResumedSteps)
+	}
+}
+
+// A coalescing-driven priority promotion is re-journaled, so a crash does
+// not demote the shared job back to its original class on recovery.
+func TestPromotionSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	reg := testRegistry(t)
+	gate := make(chan struct{}) // never closed: the blocker strands the queue
+	mgr1 := newTestManager(t, reg, Options{
+		Workers: 1, MaxWalkers: 2, DataDir: dir,
+		NewClient: func(g *graph.Graph) access.Client {
+			return gatedClient{Client: access.NewGraphClient(g), gate: gate}
+		},
+	})
+	if _, err := mgr1.Submit(Spec{Graph: "hk", K: 3, D: 1, Steps: 1000, Walkers: 1, Seed: 601}); err != nil {
+		t.Fatal(err)
+	}
+	shared, err := mgr1.Submit(Spec{Graph: "hk", K: 3, D: 1, Steps: 1000, Walkers: 1, Seed: 602, Priority: PriorityBackground})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boost, err := mgr1.Submit(Spec{Graph: "hk", K: 3, D: 1, Steps: 1000, Walkers: 1, Seed: 602, Priority: PriorityInteractive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boost.ID != shared.ID || boost.Spec.Priority != PriorityInteractive {
+		t.Fatalf("promotion did not happen: %+v", boost)
+	}
+	mgr1.syncJournal()
+	// Crash (no Close), restart: the shared job re-queues at its promoted
+	// class, not the background class of its first submitted record.
+	mgr2 := newTestManager(t, testRegistry(t), Options{Workers: 1, MaxWalkers: 2, DataDir: dir})
+	defer mgr2.Close()
+	got, ok := mgr2.Get(shared.ID)
+	if !ok || got.Spec.Priority != PriorityInteractive {
+		t.Fatalf("job after restart: %+v (ok=%v), want interactive priority", got, ok)
+	}
+}
+
+// The recovery double-charge fix: a resumed job charges its class only the
+// remaining budget, not the full budget a second time.
+func TestResumeChargesRemainingBudget(t *testing.T) {
+	fresh := &job{spec: Spec{Steps: 10000}}
+	if got := jobCost(fresh); got != 10000 {
+		t.Errorf("fresh job cost %v, want 10000", got)
+	}
+	resumed := &job{spec: Spec{Steps: 10000}, resumeSteps: 9000}
+	if got := jobCost(resumed); got != 1000 {
+		t.Errorf("resumed job cost %v, want the remaining 1000", got)
+	}
+	// A snapshot at (or somehow past) the full budget still charges a
+	// positive epsilon, keeping the virtual clock monotone.
+	edge := &job{spec: Spec{Steps: 10000}, resumeSteps: 10000}
+	if got := jobCost(edge); got != 1 {
+		t.Errorf("fully-resumed job cost %v, want 1", got)
+	}
+}
+
+// Async appends preserve transition order: after a burst of concurrent
+// submissions and completions, every job's journal records appear in
+// lifecycle order (submitted before started before terminal).
+func TestAsyncJournalPreservesOrder(t *testing.T) {
+	dir := t.TempDir()
+	reg := testRegistry(t)
+	mgr := newTestManager(t, reg, Options{Workers: 4, MaxWalkers: 2, DataDir: dir, Fsync: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var ids []string
+	for i := 0; i < 12; i++ {
+		v, err := mgr.Submit(Spec{Graph: "hk", K: 3, D: 1, Steps: 1200, Walkers: 1, Seed: int64(3000 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	for _, id := range ids {
+		if v, err := mgr.Wait(ctx, id); err != nil || v.State != StateDone {
+			t.Fatalf("job %s: %+v, %v", id, v, err)
+		}
+	}
+	mgr.Close()
+
+	jnl, err := journal.Open(filepath.Join(dir, "journal"), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl.Close()
+	phase := map[string]int{} // 0 none, 1 submitted, 2 started/checkpoint, 3 terminal
+	err = jnl.Replay(func(rec journal.Record) error {
+		p := phase[rec.Job]
+		switch rec.Type {
+		case journal.TypeSubmitted:
+			if p != 0 {
+				t.Errorf("job %s: submitted after phase %d", rec.Job, p)
+			}
+			phase[rec.Job] = 1
+		case journal.TypeStarted:
+			if p != 1 {
+				t.Errorf("job %s: started at phase %d", rec.Job, p)
+			}
+			phase[rec.Job] = 2
+		case journal.TypeCheckpoint:
+			if p != 2 {
+				t.Errorf("job %s: checkpoint at phase %d", rec.Job, p)
+			}
+		case journal.TypeDone, journal.TypeFailed, journal.TypeCanceled:
+			if p != 2 && p != 1 {
+				t.Errorf("job %s: terminal at phase %d", rec.Job, p)
+			}
+			phase[rec.Job] = 3
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phase) != len(ids) {
+		t.Fatalf("journal holds %d jobs, want %d", len(phase), len(ids))
+	}
+	for id, p := range phase {
+		if p != 3 {
+			t.Errorf("job %s ended the log at phase %d, want terminal", id, p)
+		}
+	}
+}

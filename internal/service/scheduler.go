@@ -99,12 +99,18 @@ func newScheduler(queueCap int) *scheduler {
 }
 
 // jobCost is the deficit a dispatch charges: the job's step budget, the
-// best prior proxy for how long it will hold a worker.
+// best prior proxy for how long it will hold a worker. A recovery-re-queued
+// job that resumes from a checkpoint snapshot is charged only its
+// *remaining* steps: the pre-crash process already charged its class for
+// the steps the snapshot preserves, and re-charging them would make a class
+// with interrupted jobs pay double for one budget of work (the recovery
+// double-charge).
 func jobCost(j *job) float64 {
-	if j.spec.Steps <= 0 {
+	cost := j.spec.Steps - j.resumeSteps
+	if cost <= 0 {
 		return 1
 	}
-	return float64(j.spec.Steps)
+	return float64(cost)
 }
 
 // enqueue admits j into its class queue. It fails when the scheduler is

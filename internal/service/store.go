@@ -13,16 +13,24 @@ import (
 
 // This file is the Manager's durability layer: every job-lifecycle
 // transition is appended to an append-only journal (internal/service/journal)
-// as it happens, and on startup the journal is replayed to rebuild the job
-// table, warm the result cache with every completed run, and re-queue the
-// jobs that were queued or running when the previous process died. The
+// as it happens — asynchronously, through the ordered append queue of
+// asyncjournal.go — and on startup the journal is replayed to rebuild the
+// job table, warm the result cache with every completed run, and re-queue
+// the jobs that were queued or running when the previous process died. The
 // journal is the single source of truth; the in-memory job table is a
 // replayable view of it (the LogBase pattern).
+//
+// Checkpoint records carry the engine's serialized ensemble snapshot
+// (core.EnsembleState), so an interrupted job does not restart from step 0:
+// replay re-queues it with the latest snapshot and the worker restores the
+// walkers mid-budget, preserving every step up to the last checkpoint.
 //
 // Record payloads are JSON. encoding/json round-trips float64 exactly
 // (shortest-representation encoding), so a result warmed from the journal
 // is byte-identical to the run that produced it — the same property that
-// makes the in-memory result cache sound.
+// makes the in-memory result cache sound. The ensemble snapshot inside a
+// checkpoint record is an opaque versioned binary blob (base64 in the JSON),
+// validated again by core.DecodeEnsembleState before any resume.
 
 // recSubmitted is the payload of a TypeSubmitted record.
 type recSubmitted struct {
@@ -40,11 +48,29 @@ type recSubmitted struct {
 	GraphMeta *GraphInfo `json:"graph_meta,omitempty"`
 }
 
+// recStarted is the payload of a TypeStarted record. PR-4 records had no
+// payload; replay treats an empty body as a fresh (non-resuming) start.
+type recStarted struct {
+	// ResumedSteps is the checkpointed step count the dispatch intends to
+	// resume from (0 = fresh start). Informational: the authoritative resume
+	// point of a later crash is still the latest checkpoint record.
+	ResumedSteps int `json:"resumed_steps,omitempty"`
+}
+
 // recCheckpoint is the payload of a TypeCheckpoint record.
 type recCheckpoint struct {
+	// V is the payload version: 0 (PR-4 records, progress only) or
+	// checkpointV2 (adds the ensemble snapshot). Old records replay fine —
+	// they simply carry no resumable state.
+	V             int       `json:"v,omitempty"`
 	Steps         int       `json:"steps"`
 	Concentration []float64 `json:"concentration,omitempty"`
+	// Snapshot is core.EnsembleState.Encode() at this checkpoint barrier.
+	Snapshot []byte `json:"snapshot,omitempty"`
 }
+
+// checkpointV2 marks checkpoint payloads that carry a resume snapshot.
+const checkpointV2 = 2
 
 // recDone is the payload of a TypeDone record.
 type recDone struct {
@@ -56,11 +82,13 @@ type recFailed struct {
 	Error string `json:"error,omitempty"`
 }
 
-// journalAppendLocked appends one record, best effort: a failed append is
-// reported to stderr-by-counter rather than failing the job — the daemon
-// keeps serving from memory if the disk fills. Caller holds m.mu. No-op
-// while replaying (replay must not re-journal what it reads) or when the
-// manager runs without a data dir.
+// journalAppendLocked hands one record to the ordered append queue, best
+// effort: a failed write is reported by counter rather than failing the job
+// — the daemon keeps serving from memory if the disk fills. Caller holds
+// m.mu, which is what fixes the on-disk record order to the in-memory
+// transition order; the write itself (and any fsync) happens on the writer
+// goroutine, off the lock. No-op while replaying (replay must not
+// re-journal what it reads) or when the manager runs without a data dir.
 func (m *Manager) journalAppendLocked(typ journal.Type, jobID string, payload any) {
 	if m.jnl == nil || m.replaying {
 		return
@@ -73,9 +101,11 @@ func (m *Manager) journalAppendLocked(typ journal.Type, jobID string, payload an
 			return
 		}
 	}
-	if err := m.jnl.Append(journal.Record{Type: typ, Job: jobID, Payload: body}); err != nil {
-		m.journalErrs++
-	}
+	// Stamp the time at enqueue: the record's logical time is the state
+	// transition, not the (later) asynchronous write.
+	m.jq.push(jnlOp{rec: journal.Record{
+		Type: typ, Job: jobID, Time: time.Now().UnixNano(), Payload: body,
+	}})
 }
 
 // journalTerminalLocked records a job reaching its final state. Caller
@@ -140,6 +170,12 @@ func (m *Manager) recover() error {
 			}
 			j.progress.Steps = p.Steps
 			j.progress.Concentration = p.Concentration
+			// The latest snapshot wins: if this job turns out interrupted,
+			// the requeue below resumes it from here instead of step 0.
+			if len(p.Snapshot) > 0 {
+				j.resumeSnap = p.Snapshot
+				j.resumeSteps = p.Steps
+			}
 		case journal.TypeDone:
 			var p recDone
 			if err := json.Unmarshal(rec.Payload, &p); err != nil {
@@ -187,6 +223,9 @@ func (m *Manager) recover() error {
 		if n := jobIDNumber(id); n > m.nextID {
 			m.nextID = n
 		}
+		if j.state.terminal() {
+			j.resumeSnap, j.resumeSteps = nil, 0 // snapshots die with the run
+		}
 		switch {
 		case j.state == StateDone:
 			if j.result != nil {
@@ -209,10 +248,12 @@ func (m *Manager) recover() error {
 		case j.state.terminal():
 			close(j.done)
 		default:
-			// Queued or running at crash: the walk state is gone, so the job
-			// restarts from scratch with a fresh queue slot at its original
-			// priority — but only onto the same topology it was admitted
-			// against.
+			// Queued or running at crash: re-queue with a fresh slot at the
+			// original priority — but only onto the same topology it was
+			// admitted against. A job whose replay carried a checkpoint
+			// snapshot resumes mid-budget: its progress survives, the
+			// scheduler will charge only the remaining steps, and the worker
+			// restores the walkers from the snapshot at dispatch.
 			if !sameBind(id, j.spec.Graph) {
 				j.state = StateFailed
 				j.errMsg = fmt.Sprintf("service: graph %q is not registered with the same topology it was submitted against; job not re-run", j.spec.Graph)
@@ -220,8 +261,14 @@ func (m *Manager) recover() error {
 				continue
 			}
 			j.state = StateQueued
-			j.progress = Progress{Total: j.spec.Steps}
 			j.started = time.Time{}
+			if len(j.resumeSnap) > 0 {
+				j.progress.Total = j.spec.Steps
+				j.progress.ResumedSteps = j.resumeSteps
+				m.resumable++
+			} else {
+				j.progress = Progress{Total: j.spec.Steps}
+			}
 			if err := m.sched.enqueue(j); err != nil {
 				j.state = StateFailed
 				j.errMsg = fmt.Sprintf("recovery: %v", err)
@@ -234,7 +281,7 @@ func (m *Manager) recover() error {
 	}
 	m.pruneLocked()
 	if m.jnl.Segments() > m.opts.CompactSegments {
-		return m.compactJournalLocked()
+		return m.compactJournalNow()
 	}
 	return nil
 }
@@ -252,40 +299,32 @@ func jobIDNumber(id string) int {
 	return n
 }
 
-// maybeCompactJournalLocked compacts once the log spans more segments than
-// the configured bound, dropping superseded records so on-disk size tracks
-// the live job table instead of total request history. Caller holds m.mu.
+// maybeCompactJournalLocked queues a compaction once the log spans more
+// segments than the configured bound, dropping superseded records so
+// on-disk size tracks the live job table instead of total request history.
+// The rewrite itself runs on the journal writer goroutine
+// (compactJournalAsync), with the retention rule of keepRecord
+// (asyncjournal.go); checkpoint records of live jobs survive because they
+// carry the resume snapshots. Caller holds m.mu.
 func (m *Manager) maybeCompactJournalLocked() {
-	if m.jnl == nil || m.jnl.Segments() <= m.opts.CompactSegments {
+	if m.jnl == nil || m.compactQueued || m.jnl.Segments() <= m.opts.CompactSegments {
 		return
 	}
-	if err := m.compactJournalLocked(); err != nil {
-		m.journalErrs++
-	}
+	m.compactQueued = true
+	m.jq.push(jnlOp{compact: true})
 }
 
-// compactJournalLocked rewrites the journal keeping, for each job still in
-// the table, its submitted record and (when terminal) its terminal record,
-// plus the submitted/done pair of any job whose result still backs a live
-// cache entry (so restart re-warms the LRU even after the producing job was
-// pruned from the bounded table). Started and checkpoint records are
-// superseded by construction — a non-terminal job restarts from scratch on
-// recovery — and everything else is dead weight. Caller holds m.mu.
-func (m *Manager) compactJournalLocked() error {
-	return m.jnl.Compact(func(rec journal.Record) bool {
-		if m.cache.ownsJob(rec.Job) {
-			return rec.Type == journal.TypeSubmitted || rec.Type == journal.TypeDone
-		}
-		j, ok := m.jobs[rec.Job]
-		if !ok {
-			return false
-		}
-		switch rec.Type {
-		case journal.TypeSubmitted:
-			return true
-		case journal.TypeDone, journal.TypeFailed, journal.TypeCanceled:
-			return j.state.terminal()
-		}
-		return false
-	})
+// compactJournalNow compacts synchronously under the same retention rule.
+// Only called from recover, before the writer goroutine and worker pool
+// exist, so reading the job table and cache without m.mu is safe.
+func (m *Manager) compactJournalNow() error {
+	terminal := make(map[string]bool, len(m.jobs))
+	for id, j := range m.jobs {
+		terminal[id] = j.state.terminal()
+	}
+	keep, err := m.newKeepFunc(terminal, m.cache.ownerSet())
+	if err != nil {
+		return err
+	}
+	return m.jnl.Compact(keep)
 }

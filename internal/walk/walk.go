@@ -61,3 +61,30 @@ func (w *Walk) Burn(n int) {
 		w.Step()
 	}
 }
+
+// WalkState is the exportable position of a Walk: everything the transition
+// rule reads besides the Space and the RNG. Together with the RNG stream
+// position (walk.Rand), it makes a walk fully serializable — Resume
+// reconstructs a walk that continues the original trajectory exactly.
+type WalkState struct {
+	Cur     State
+	Prev    State
+	HasPrev bool
+	Steps   int64
+}
+
+// State exports the walk's current position.
+func (w *Walk) State() WalkState {
+	return WalkState{Cur: w.cur, Prev: w.prev, HasPrev: w.hasPrev, Steps: w.steps}
+}
+
+// Resume reconstructs a walk at the given exported state. The caller is
+// responsible for supplying an rng positioned where the original walk's
+// stream was (NewRandAt); the space may be a fresh instance — its caches are
+// derived state.
+func Resume(space Space, st WalkState, nb bool, rng *rand.Rand) *Walk {
+	return &Walk{
+		space: space, rng: rng, nb: nb,
+		cur: st.Cur, prev: st.Prev, hasPrev: st.HasPrev, steps: st.Steps,
+	}
+}

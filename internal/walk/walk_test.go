@@ -381,3 +381,39 @@ func TestRandomStateValid(t *testing.T) {
 		}
 	}
 }
+
+// TestWalkStateResume: a walk serialized mid-trajectory (State + the RNG
+// stream position) and resumed with a fast-forwarded RNG continues the
+// exact trajectory of the uninterrupted walk, for both SRW and NB-SRW at
+// every supported order.
+func TestWalkStateResume(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 3, 19)
+	c := access.NewGraphClient(g)
+	for d := 1; d <= 4; d++ {
+		for _, nb := range []bool{false, true} {
+			rng := NewRand(int64(100*d) + 7)
+			w := New(NewSpace(c, d), nb, rng.Rand)
+			for i := 0; i < 50; i++ {
+				w.Step()
+			}
+			st := w.State()
+			pos := rng.Pos()
+
+			var ref []State
+			for i := 0; i < 50; i++ {
+				ref = append(ref, w.Step())
+			}
+
+			rng2 := NewRandAt(int64(100*d)+7, pos)
+			w2 := Resume(NewSpace(c, d), st, nb, rng2.Rand)
+			if w2.Current() != st.Cur || w2.Steps() != 50 {
+				t.Fatalf("d=%d nb=%v: resumed walk at %v/%d, want %v/50", d, nb, w2.Current(), w2.Steps(), st.Cur)
+			}
+			for i := 0; i < 50; i++ {
+				if got := w2.Step(); got != ref[i] {
+					t.Fatalf("d=%d nb=%v: resumed step %d = %v, want %v", d, nb, i, got, ref[i])
+				}
+			}
+		}
+	}
+}
