@@ -1,0 +1,58 @@
+package graphletrw
+
+// Walk-kernel benchmarks on a 1M-edge Barabási–Albert graph — the
+// BENCH_pr6.json fixture. The epinion StepSRW* benchmarks above track the
+// historical trajectory; these isolate the G(d) neighbor kernel at the scale
+// the ROADMAP's walk-kernel item targets (hub-heavy degree distribution,
+// ~10 average degree, rows far larger than the d<=2 fast paths ever see).
+//
+// The fixture matches internal/graph's gcsr benchmark graph (same
+// model/size/seed) so per-step and load-path numbers in the BENCH_*.json
+// trajectory refer to one graph.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+const (
+	ba1mNodes  = 200_000
+	ba1mAttach = 5 // ~1M edges
+	ba1mSeed   = 1337
+)
+
+var ba1m struct {
+	once sync.Once
+	g    *graph.Graph
+}
+
+func ba1mGraph() *graph.Graph {
+	ba1m.once.Do(func() { ba1m.g = gen.BarabasiAlbert(ba1mNodes, ba1mAttach, ba1mSeed) })
+	return ba1m.g
+}
+
+func benchmarkWalkStepsBA(b *testing.B, cfg core.Config) {
+	g := ba1mGraph()
+	client := access.NewGraphClient(g)
+	cfg.Seed = 7
+	est, err := core.NewEstimator(client, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := est.Run(b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkStepSRW3K4BA1M(b *testing.B) { benchmarkWalkStepsBA(b, core.Config{K: 4, D: 3}) }
+func BenchmarkStepSRW3K5BA1M(b *testing.B) { benchmarkWalkStepsBA(b, core.Config{K: 5, D: 3}) }
+func BenchmarkStepSRW4K5BA1M(b *testing.B) { benchmarkWalkStepsBA(b, core.Config{K: 5, D: 4}) }
+func BenchmarkStepNBSRW3K4BA1M(b *testing.B) {
+	benchmarkWalkStepsBA(b, core.Config{K: 4, D: 3, NB: true})
+}

@@ -45,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // -pprof side listener (http.DefaultServeMux only)
 	"os"
 	"strings"
 	"time"
@@ -66,6 +67,7 @@ func main() {
 		latency    = flag.Duration("latency", 0, "simulated per-call API latency (crawl modeling)")
 		dataDir    = flag.String("data-dir", "", "durability directory: journal job history here, replay it on start (empty = volatile)")
 		fsync      = flag.Bool("fsync", false, "fsync every journal append (with -data-dir)")
+		pprofAddr  = flag.String("pprof", "", "expose net/http/pprof on this side listener (e.g. 127.0.0.1:6060; empty = off)")
 	)
 	flag.Var(&graphFlags, "graph", "name=path graph to register, edge list or .gcsr (repeatable)")
 	flag.Parse()
@@ -111,6 +113,19 @@ func main() {
 		fail(err)
 	}
 	defer mgr.Close()
+
+	if *pprofAddr != "" {
+		// Side listener only: the pprof handlers register on
+		// http.DefaultServeMux (imported for effect below), which the API
+		// server never serves, so profiling endpoints are reachable solely on
+		// this address.
+		go func() {
+			fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "graphletd: pprof listener: %v\n", err)
+			}
+		}()
+	}
 
 	st := mgr.Stats()
 	fmt.Printf("graphletd: %d graph(s), %d worker(s), walker cap %d, cache %d results\n",

@@ -40,6 +40,11 @@ func TestEstimateByteIdenticalAcrossLoadPaths(t *testing.T) {
 		{K: 3, D: 1, CSS: true, NB: true, Seed: 5},
 		{K: 4, D: 2, CSS: true, Seed: 5, Walkers: 4},
 		{K: 5, D: 2, CSS: true, Seed: 9},
+		// d >= 3: the merge-based G(d) kernel path (counting scans +
+		// nth-neighbor partial scans instead of materialized lists).
+		{K: 4, D: 3, Seed: 5},
+		{K: 5, D: 3, CSS: true, Seed: 7, Walkers: 2},
+		{K: 5, D: 4, NB: true, Seed: 7},
 	} {
 		cfg := cfg
 		t.Run(cfg.MethodName(), func(t *testing.T) {

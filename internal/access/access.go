@@ -19,8 +19,12 @@ import (
 type Client interface {
 	// Degree returns the degree of v (the length of its neighbor list).
 	Degree(v int32) int
-	// Neighbors returns the sorted neighbor list of v. Callers must not
-	// modify the returned slice.
+	// Neighbors returns the neighbor list of v, sorted strictly ascending.
+	// The sorted order is a contract, not a convenience: the walk kernel's
+	// merge-based candidate generation and every binary-search edge probe
+	// depend on it (graph.Validate asserts it for in-memory graphs, and the
+	// apiserver crawl client re-establishes it at the wire boundary).
+	// Callers must not modify the returned slice.
 	Neighbors(v int32) []int32
 	// Neighbor returns the i-th neighbor of v, 0 <= i < Degree(v).
 	Neighbor(v int32, i int) int32
@@ -30,6 +34,18 @@ type Client interface {
 	// crawls obtain seeds out of band; uniformity is not required by any
 	// estimator, only reachability.)
 	RandomNode(rng *rand.Rand) int32
+}
+
+// CommonCounter is an optional Client capability: the number of common
+// neighbors of two nodes, computed without handing out the rows themselves.
+// Only clients whose access is free implement it (the in-memory
+// GraphClient, via the graph layer's galloping intersection); crawl-style
+// clients deliberately do not, so the walk kernel falls back to merging
+// fetched rows and the measured API cost stays faithful to what a real
+// crawler would pay.
+type CommonCounter interface {
+	// CommonNeighborCount returns |N(u) ∩ N(v)|.
+	CommonNeighborCount(u, v int32) int
 }
 
 // GraphClient adapts an in-memory graph.Graph to the Client interface.
@@ -54,6 +70,10 @@ func (c *GraphClient) HasEdge(u, v int32) bool { return c.G.HasEdge(u, v) }
 
 // RandomNode implements Client.
 func (c *GraphClient) RandomNode(rng *rand.Rand) int32 { return c.G.RandomNode(rng) }
+
+// CommonNeighborCount implements CommonCounter via the graph layer's
+// galloping intersection (O(min·log(max/min)) under degree skew).
+func (c *GraphClient) CommonNeighborCount(u, v int32) int { return c.G.CommonNeighbors(u, v) }
 
 // Stats aggregates API-call counters.
 type Stats struct {

@@ -14,6 +14,27 @@ import (
 	"repro/internal/gen"
 )
 
+// canonicalRow must pass conforming rows through untouched (same backing
+// array — no copy on the hot path) and repair unsorted or duplicated rows
+// from a nonconforming server into the strict access.Client contract.
+func TestCanonicalRow(t *testing.T) {
+	sorted := []int32{1, 3, 7}
+	if got := canonicalRow(sorted); &got[0] != &sorted[0] {
+		t.Error("conforming row was copied")
+	}
+	for _, tc := range [][2][]int32{
+		{{7, 1, 3}, {1, 3, 7}},
+		{{1, 1, 3, 7, 7}, {1, 3, 7}},
+		{{5, 2, 5, 2}, {2, 5}},
+		{{4}, {4}},
+	} {
+		got := canonicalRow(append([]int32(nil), tc[0]...))
+		if !reflect.DeepEqual(got, tc[1]) {
+			t.Errorf("canonicalRow(%v) = %v, want %v", tc[0], got, tc[1])
+		}
+	}
+}
+
 func newTestServer(t *testing.T) (*httptest.Server, *Handler) {
 	t.Helper()
 	g := gen.HolmeKim(300, 3, 0.6, 7)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -107,9 +108,30 @@ func (c *Client) fetch(v int32) []int32 {
 
 	var resp neighborsResponse
 	c.get(fmt.Sprintf("%s/v1/nodes/%d/neighbors", c.base, v), &resp)
-	call.ns = resp.Neighbors
+	call.ns = canonicalRow(resp.Neighbors)
 	ok = true
 	return call.ns
+}
+
+// canonicalRow re-establishes the access.Client row contract — strictly
+// ascending, no duplicates — at the wire boundary. The walk kernel's merge
+// iteration and this client's own binary-search HasEdge both depend on it.
+// Rows from this package's server are already canonical, so the common case
+// is one verification scan; a nonconforming third-party server costs a
+// sort+compact once per node (rows are cached).
+func canonicalRow(ns []int32) []int32 {
+	strict := true
+	for i := 1; i < len(ns); i++ {
+		if ns[i] <= ns[i-1] {
+			strict = false
+			break
+		}
+	}
+	if strict {
+		return ns
+	}
+	slices.Sort(ns)
+	return slices.Compact(ns)
 }
 
 func (c *Client) get(url string, out any) {

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"repro/internal/access"
+	"repro/internal/graphlet"
+	"repro/internal/walk"
+)
+
+// windowCode builds the k-node adjacency code of a window's union nodes for
+// classification. Every pair of nodes co-resident in some window state was
+// already resolved by the walk kernel (walk.Space.StateAdj hands back the
+// internal adjacency masks it computed for incremental connectivity), so only
+// the pairs no window state covers are probed with client.HasEdge. With
+// l = k-d+1 consecutive d-node states, consecutive states overlap in d-1
+// nodes, so uncovered pairs are the rare far-apart ones — classification
+// stops re-running the binary-search storm the kernel was built to eliminate.
+//
+// nodes is the union in first-appearance order (what the accumulators build);
+// at(i) returns the i-th window state, oldest first.
+func windowCode(client access.Client, space walk.Space, k, l int, nodes []int32, at func(i int) (walk.State, int)) uint16 {
+	// known/adj are k×k bitmasks over union-node indices (k <= MaxK = 8 fits
+	// a uint8 row... MaxK is 5 here; 8 bits are plenty).
+	var known, adj [graphlet.MaxK]uint8
+	for i := 0; i < l; i++ {
+		s, _ := at(i)
+		mask := space.StateAdj(s)
+		n := s.Len()
+		// Map state-node positions to union indices.
+		var idx [walk.MaxD]int
+		for a := 0; a < n; a++ {
+			x := s.Node(a)
+			for u, y := range nodes {
+				if y == x {
+					idx[a] = u
+					break
+				}
+			}
+		}
+		for a := 0; a < n; a++ {
+			ua := idx[a]
+			for b := a + 1; b < n; b++ {
+				ub := idx[b]
+				known[ua] |= 1 << uint(ub)
+				known[ub] |= 1 << uint(ua)
+				if mask[a]&(1<<uint(b)) != 0 {
+					adj[ua] |= 1 << uint(ub)
+					adj[ub] |= 1 << uint(ua)
+				}
+			}
+		}
+	}
+	return graphlet.CodeOf(k, func(i, j int) bool {
+		if known[i]&(1<<uint(j)) != 0 {
+			return adj[i]&(1<<uint(j)) != 0
+		}
+		return client.HasEdge(nodes[i], nodes[j])
+	})
+}

@@ -270,9 +270,7 @@ func (m *multiWalker) accumulateSize(k int, res *Result) error {
 		return nil
 	}
 	res.ValidSamples++
-	code := graphlet.CodeOf(k, func(i, j int) bool {
-		return m.client.HasEdge(nodes[i], nodes[j])
-	})
+	code := windowCode(m.client, m.space, k, l, nodes, at)
 	typ := graphlet.ClassifyCode(k, code)
 	if typ < 0 {
 		return fmt.Errorf("core: multi window %v disconnected", nodes)

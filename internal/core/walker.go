@@ -207,9 +207,7 @@ func (wk *walker) accumulate(res *Result) error {
 	res.ValidSamples++
 
 	nodes := wk.unionNodes
-	code := graphlet.CodeOf(k, func(i, j int) bool {
-		return wk.client.HasEdge(nodes[i], nodes[j])
-	})
+	code := windowCode(wk.client, wk.space, k, wk.l, nodes, wk.windowAt)
 	typ := graphlet.ClassifyCode(k, code)
 	if typ < 0 {
 		return fmt.Errorf("core: window %v classified as disconnected", nodes)

@@ -1,0 +1,109 @@
+package walk
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// The kernel's correctness contract: for every state, the merge-based kernel
+// must reproduce the naive §5 materialization (referenceNeighbors) exactly —
+// same elements in the same positions, because RNG draws index into the
+// canonical order and estimates are required to stay byte-identical. The test
+// sweeps random graphs of three models and d ∈ {3, 4, 5}, exercising all
+// three kernel paths: the counting scan (StateDegree), the materializing scan
+// (neighbors), and the per-index partial scan (nthNeighbor, which also covers
+// the d=3 closed-form group counts and the two-pointer nth2 select).
+func TestKernelMatchesReferenceOrder(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"ba":       gen.BarabasiAlbert(40, 2, 101),
+		"hk":       gen.HolmeKim(40, 3, 0.5, 102),
+		"lollipop": gen.Lollipop(7, 5),
+	}
+	rng := rand.New(rand.NewSource(103))
+	for name, g := range graphs {
+		c := access.NewGraphClient(g)
+		for d := 3; d <= MaxD; d++ {
+			sp := newSpaceD(c, d)
+			// Attempt-bounded: small graphs may not have 60 distinct
+			// reachable states for large d.
+			states := map[State]bool{}
+			for i := 0; i < 500 && len(states) < 60; i++ {
+				states[sp.RandomState(rng)] = true
+			}
+			for st := range states {
+				want := referenceNeighbors(c, st)
+				if got := sp.StateDegree(st); got != len(want) {
+					t.Fatalf("%s d=%d %v: StateDegree %d, want %d", name, d, st, got, len(want))
+				}
+				got := sp.neighbors(st)
+				if len(got) != len(want) {
+					t.Fatalf("%s d=%d %v: %d neighbors, want %d", name, d, st, len(got), len(want))
+				}
+				fi := sp.infoOf(st)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s d=%d %v: neighbors()[%d] = %v, want %v (order must match)",
+							name, d, st, i, got[i], want[i])
+					}
+					if nth := sp.nthNeighbor(st, fi, int32(i)); nth != want[i] {
+						t.Fatalf("%s d=%d %v: nthNeighbor(%d) = %v, want %v",
+							name, d, st, i, nth, want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// The kernel's adjacency masks must agree with the client's HasEdge — the
+// core classification layer substitutes them for edge probes.
+func TestStateAdjMatchesHasEdge(t *testing.T) {
+	g := gen.BarabasiAlbert(40, 2, 104)
+	c := access.NewGraphClient(g)
+	rng := rand.New(rand.NewSource(105))
+	for d := 2; d <= MaxD; d++ {
+		sp := NewSpace(c, d)
+		for n := 0; n < 40; n++ {
+			st := sp.RandomState(rng)
+			adj := sp.StateAdj(st)
+			for i := 0; i < st.Len(); i++ {
+				for j := 0; j < st.Len(); j++ {
+					want := i != j && c.HasEdge(st.Node(i), st.Node(j))
+					if got := adj[i]&(1<<uint(j)) != 0; got != want {
+						t.Fatalf("d=%d %v: adj[%d][%d] = %v, want %v", d, st, i, j, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// A crawl-style client without the CommonCounter capability must take the
+// generic merge for d=3 group counts and still agree with the closed form.
+func TestKernelWithoutCommonCounter(t *testing.T) {
+	g := gen.BarabasiAlbert(40, 2, 106)
+	free := access.NewGraphClient(g)
+	counted := access.NewCounting(free, g.NumNodes()) // does not implement CommonCounter
+	if _, ok := interface{}(counted).(access.CommonCounter); ok {
+		t.Fatal("Counting unexpectedly implements CommonCounter; test premise broken")
+	}
+	rng := rand.New(rand.NewSource(107))
+	spFree := newSpaceD(free, 3)
+	spCrawl := newSpaceD(counted, 3)
+	if spFree.cc == nil {
+		t.Fatal("GraphClient should provide CommonCounter")
+	}
+	if spCrawl.cc != nil {
+		t.Fatal("Counting client must not provide CommonCounter")
+	}
+	for n := 0; n < 60; n++ {
+		st := spFree.RandomState(rng)
+		if got, want := spCrawl.StateDegree(st), spFree.StateDegree(st); got != want {
+			t.Fatalf("%v: merge count %d != closed-form count %d", st, got, want)
+		}
+	}
+}

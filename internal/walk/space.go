@@ -3,7 +3,7 @@ package walk
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/access"
 )
@@ -18,7 +18,8 @@ type Space interface {
 	// subgraph). Start-state bias vanishes by the SLLN; only validity
 	// matters.
 	RandomState(rng *rand.Rand) State
-	// StateDegree returns the degree of s in G(d).
+	// StateDegree returns the degree of s in G(d). For d >= 3 this is a
+	// counting scan over the merge kernel — no neighbor states are built.
 	StateDegree(s State) int
 	// RandomNeighbor returns a uniformly random G(d)-neighbor of s. If s has
 	// no neighbor (an isolated component smaller than d+1 nodes), s itself is
@@ -28,6 +29,12 @@ type Space interface {
 	// than prev (non-backtracking step). If prev is s's only neighbor it is
 	// returned, matching the NB-SRW transition rule for degree-1 states.
 	RandomNeighborAvoiding(s, prev State, rng *rand.Rand) State
+	// StateAdj returns the internal adjacency of s's nodes (bit j of entry i
+	// set iff Node(i) ~ Node(j)). For d >= 3 the kernel computed the masks
+	// anyway for incremental connectivity; for d <= 2 they follow from the
+	// state shape. Classification layers use this to avoid re-probing
+	// HasEdge for pairs the walk already resolved.
+	StateAdj(s State) AdjMask
 }
 
 // NewSpace builds the G(d) state space over the client for d in 1..MaxD.
@@ -60,6 +67,8 @@ func (s *space1) RandomState(rng *rand.Rand) State {
 }
 
 func (s *space1) StateDegree(st State) int { return s.c.Degree(st.Node(0)) }
+
+func (s *space1) StateAdj(State) AdjMask { return AdjMask{} }
 
 func (s *space1) RandomNeighbor(st State, rng *rand.Rand) State {
 	v := st.Node(0)
@@ -112,6 +121,9 @@ func (s *space2) StateDegree(st State) int {
 	return s.c.Degree(st.Node(0)) + s.c.Degree(st.Node(1)) - 2
 }
 
+// StateAdj: a G(2) state is an edge, so its two nodes are always adjacent.
+func (s *space2) StateAdj(State) AdjMask { return AdjMask{1 << 1, 1 << 0} }
+
 func (s *space2) RandomNeighbor(st State, rng *rand.Rand) State {
 	u, v := st.Node(0), st.Node(1)
 	du, dv := s.c.Degree(u), s.c.Degree(v)
@@ -145,21 +157,23 @@ func (s *space2) RandomNeighborAvoiding(st, prev State, rng *rand.Rand) State {
 	}
 }
 
-// spaceD is G(d) for d >= 3: the neighbor list of a state is materialized by
-// swapping each node out and pulling in every neighbor of the remainder that
-// keeps the induced subgraph connected (paper §5, O(d^2 |E|/|V|) per state).
-// A tiny cache keyed by state avoids recomputing lists for the window states
-// the estimator re-queries.
+// spaceD is G(d) for d >= 3, served by the merge-based kernel (kernel.go):
+// candidates come from a (d-1)-way sorted merge of adjacency rows,
+// connectivity of rem ∪ {y} is decided from precomputed component masks plus
+// the merge's membership bitmask, and transitions never materialize neighbor
+// lists — a counting scan yields the degree and a partial scan of one
+// dropped-node group yields the uniformly drawn neighbor. The per-state
+// kernel records are cached in a bounded map (see infoCacheCap).
 type spaceD struct {
-	c access.Client
-	d int
-
-	cache map[State][]State
-	cand  []int32 // scratch: candidate incoming nodes
+	c    access.Client
+	cc   access.CommonCounter // non-nil iff c's access is free (see access.CommonCounter)
+	d    int
+	info map[State]stateInfo
 }
 
 func newSpaceD(c access.Client, d int) *spaceD {
-	return &spaceD{c: c, d: d, cache: make(map[State][]State, 16)}
+	cc, _ := c.(access.CommonCounter)
+	return &spaceD{c: c, cc: cc, d: d, info: make(map[State]stateInfo, 16)}
 }
 
 func (s *spaceD) D() int { return s.d }
@@ -201,40 +215,59 @@ func (s *spaceD) RandomState(rng *rand.Rand) State {
 	}
 }
 
-func (s *spaceD) StateDegree(st State) int { return len(s.neighbors(st)) }
+func (s *spaceD) StateDegree(st State) int { return int(s.infoOf(st).deg) }
+
+func (s *spaceD) StateAdj(st State) AdjMask { return s.infoOf(st).adj }
 
 func (s *spaceD) RandomNeighbor(st State, rng *rand.Rand) State {
-	ns := s.neighbors(st)
-	if len(ns) == 0 {
+	fi := s.infoOf(st)
+	if fi.deg == 0 {
 		return st
 	}
-	return ns[rng.Intn(len(ns))]
+	return s.nthNeighbor(st, fi, int32(rng.Intn(int(fi.deg))))
 }
 
 func (s *spaceD) RandomNeighborAvoiding(st, prev State, rng *rand.Rand) State {
-	ns := s.neighbors(st)
-	switch len(ns) {
+	fi := s.infoOf(st)
+	switch fi.deg {
 	case 0:
 		return st
 	case 1:
-		return ns[0]
+		return s.nthNeighbor(st, fi, 0)
 	}
 	for {
-		next := ns[rng.Intn(len(ns))]
+		next := s.nthNeighbor(st, fi, int32(rng.Intn(int(fi.deg))))
 		if next != prev {
 			return next
 		}
 	}
 }
 
-// neighbors materializes (and caches) the full G(d) neighbor list of st.
+// neighbors materializes the full G(d) neighbor list of st in canonical
+// order through the production group scans. Only tests and verification
+// tooling call it; the walk paths go through infoOf/nthNeighbor.
 func (s *spaceD) neighbors(st State) []State {
-	if ns, ok := s.cache[st]; ok {
-		return ns
+	fi := s.infoOf(st)
+	out := make([]State, 0, fi.deg)
+	var g groupScan
+	for xi := 0; xi < st.Len(); xi++ {
+		g.prepare(s.c, st, xi, fi.adj)
+		out = g.appendGroup(out)
 	}
+	return out
+}
+
+// referenceNeighbors is the retained naive §5 materialization — gather every
+// neighbor of the d-1 retained nodes, sort, dedup, then re-derive
+// connectivity per candidate with HasEdge probes. It defines the canonical
+// neighbor order the merge kernel must reproduce exactly (same elements,
+// same positions: RNG draw sequences depend on it) and serves as the
+// equivalence oracle in tests. Never called on walk paths.
+func referenceNeighbors(c access.Client, st State) []State {
 	var out []State
 	d := st.Len()
 	var rem [MaxD]int32
+	var cand []int32
 	for xi := 0; xi < d; xi++ {
 		// rem = st minus node xi.
 		n := 0
@@ -245,41 +278,33 @@ func (s *spaceD) neighbors(st State) []State {
 			}
 		}
 		// Candidate incoming nodes: neighbors of rem, excluding st's nodes.
-		// Gather then sort-dedup — allocation-free after warm-up.
-		cand := s.cand[:0]
+		cand = cand[:0]
 		for i := 0; i < n; i++ {
-			for _, y := range s.c.Neighbors(rem[i]) {
+			for _, y := range c.Neighbors(rem[i]) {
 				if !st.Contains(y) {
 					cand = append(cand, y)
 				}
 			}
 		}
-		sortInt32(cand)
-		s.cand = cand
+		slices.Sort(cand)
 		var prev int32 = -1
 		for _, y := range cand {
 			if y == prev {
 				continue
 			}
 			prev = y
-			if s.connectedWith(rem[:n], y) {
-				out = append(out, newStateReplacing(rem[:n], y))
+			if referenceConnectedWith(c, rem[:n], y) {
+				out = append(out, StateOf(append(rem[:n:n], y)...))
 			}
 		}
 	}
-	// Bound the cache: the walk only revisits states inside the current
-	// window, so a small cache suffices.
-	if len(s.cache) >= 32 {
-		for k := range s.cache {
-			delete(s.cache, k)
-		}
-	}
-	s.cache[st] = out
 	return out
 }
 
-// connectedWith reports whether rem ∪ {y} induces a connected subgraph.
-func (s *spaceD) connectedWith(rem []int32, y int32) bool {
+// referenceConnectedWith reports whether rem ∪ {y} induces a connected
+// subgraph, probing every pair — the per-candidate cost the merge kernel's
+// incremental connectivity eliminates.
+func referenceConnectedWith(c access.Client, rem []int32, y int32) bool {
 	var nodes [MaxD]int32
 	copy(nodes[:], rem)
 	nodes[len(rem)] = y
@@ -287,7 +312,7 @@ func (s *spaceD) connectedWith(rem []int32, y int32) bool {
 	var adj [MaxD]uint8
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if s.c.HasEdge(nodes[i], nodes[j]) {
+			if c.HasEdge(nodes[i], nodes[j]) {
 				adj[i] |= 1 << uint(j)
 				adj[j] |= 1 << uint(i)
 			}
@@ -307,25 +332,4 @@ func (s *spaceD) connectedWith(rem []int32, y int32) bool {
 		reach = next
 	}
 	return reach == uint8(1<<uint(n))-1
-}
-
-// sortInt32 sorts in place (small inputs dominate: insertion sort below a
-// threshold, stdlib sort above).
-func sortInt32(xs []int32) {
-	if len(xs) < 24 {
-		for i := 1; i < len(xs); i++ {
-			for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-				xs[j], xs[j-1] = xs[j-1], xs[j]
-			}
-		}
-		return
-	}
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
-}
-
-func newStateReplacing(rem []int32, y int32) State {
-	nodes := make([]int32, 0, MaxD)
-	nodes = append(nodes, rem...)
-	nodes = append(nodes, y)
-	return StateOf(nodes...)
 }
