@@ -23,6 +23,17 @@
 // much crawl work the resume preserved. Without -data-dir the job table is
 // in-memory only (the pre-journal behavior).
 //
+// The daemon is observable end to end: GET /metrics serves a Prometheus
+// text exposition (job lifecycle, queue depth and wait histograms by
+// priority class, cache hit/miss/eviction, journal append/fsync/compaction,
+// walk-engine step counters), GET /healthz and /readyz answer liveness and
+// readiness probes — /readyz stays 503 until graph registration and journal
+// replay finish — and every request gets an X-Request-Id (client-supplied or
+// generated) that is echoed on the response, stamped into submitted jobs
+// (visible in job views and SSE events), and logged in the structured access
+// log (-access-log). -qps/-burst put the JSON API behind a shared token
+// bucket; /metrics and the probes are never throttled.
+//
 // -graph accepts text edge lists and .gcsr binary CSR files (see
 // cmd/graphlet-pack); .gcsr files open zero-copy through mmap — one
 // sequential checksum/validation pass over the raw bytes instead of an
@@ -44,14 +55,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // -pprof side listener (http.DefaultServeMux only)
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/access"
+	"repro/internal/apiserver"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -68,9 +84,42 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "durability directory: journal job history here, replay it on start (empty = volatile)")
 		fsync      = flag.Bool("fsync", false, "fsync every journal append (with -data-dir)")
 		pprofAddr  = flag.String("pprof", "", "expose net/http/pprof on this side listener (e.g. 127.0.0.1:6060; empty = off)")
+		qps        = flag.Float64("qps", 0, "rate-limit API requests to this sustained QPS (0 = unlimited; /metrics and health probes are never throttled)")
+		burst      = flag.Int("burst", 16, "rate-limit burst allowance (with -qps)")
+		accessLog  = flag.Bool("access-log", true, "log one structured line per request to stderr")
 	)
 	flag.Var(&graphFlags, "graph", "name=path graph to register, edge list or .gcsr (repeatable)")
 	flag.Parse()
+
+	// Bind the listener and start serving before graph registration and
+	// journal replay: probes get real answers the whole time (/healthz 200,
+	// /readyz 503 "starting", anything else 503) instead of connection
+	// refusals, so an orchestrator can tell "still replaying the journal"
+	// from "dead".
+	metrics := obs.NewRegistry()
+	health := obs.NewHealth("starting: graph registration and journal replay in progress")
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	var logger *slog.Logger
+	if *accessLog {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	swap := &handlerSwitch{}
+	swap.Store(bootstrapHandler(health))
+	srv := &http.Server{
+		Handler: obs.Trace(swap, obs.TraceOptions{
+			Logger:  logger,
+			Metrics: obs.NewHTTPMetrics(metrics, "graphletd"),
+			PathLabel: func(r *http.Request) string {
+				return service.RoutePattern(r.URL.Path)
+			},
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
 
 	reg := service.NewRegistry()
 	if *dsets != "" {
@@ -102,6 +151,7 @@ func main() {
 		SnapshotEvery: *snapshot,
 		DataDir:       *dataDir,
 		Fsync:         *fsync,
+		Metrics:       metrics,
 	}
 	if *latency > 0 {
 		opts.NewClient = func(g *graph.Graph) access.Client {
@@ -127,6 +177,29 @@ func main() {
 		}()
 	}
 
+	// Assemble the real handler: the API server (which also serves /metrics,
+	// /healthz, /readyz), with the JSON API behind the optional token-bucket
+	// limiter. Operational endpoints bypass the bucket — a saturated API must
+	// not block the scrape or the probes that would diagnose it.
+	api := service.NewServer(reg, mgr)
+	api.Health = health
+	var handler http.Handler = api
+	if *qps > 0 {
+		rejected := metrics.Counter("graphletd_ratelimit_rejected_total",
+			"Requests that gave up waiting for a rate-limit token.")
+		limited := apiserver.RateLimitObserved(api, *qps, *burst, rejected.Inc)
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			switch strings.TrimSuffix(r.URL.Path, "/") {
+			case "/metrics", "/healthz", "/readyz":
+				api.ServeHTTP(w, r)
+			default:
+				limited.ServeHTTP(w, r)
+			}
+		})
+	}
+	swap.Store(handler)
+	health.SetReady()
+
 	st := mgr.Stats()
 	fmt.Printf("graphletd: %d graph(s), %d worker(s), walker cap %d, cache %d results\n",
 		st.GraphsCount, st.Workers, st.MaxWalkers, *cacheSize)
@@ -138,16 +211,43 @@ func main() {
 		fmt.Printf("  graph %-12s %8d nodes %9d edges (max degree %d, %s)\n",
 			info.Name, info.Nodes, info.Edges, info.MaxDegree, info.Source)
 	}
-	fmt.Printf("listening on http://%s\n", *addr)
-
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           service.NewServer(reg, mgr),
-		ReadHeaderTimeout: 10 * time.Second,
+	if *qps > 0 {
+		fmt.Printf("  rate limit %.1f qps (burst %d); /metrics and probes unthrottled\n", *qps, *burst)
 	}
-	if err := srv.ListenAndServe(); err != nil {
+	fmt.Printf("listening on http://%s (metrics on /metrics, probes on /healthz /readyz)\n", *addr)
+
+	if err := <-errCh; err != nil {
 		fail(err)
 	}
+}
+
+// handlerSwitch is an atomically swappable http.Handler: the daemon serves a
+// bootstrap handler (probes only) while it registers graphs and replays the
+// journal, then swaps in the real API without restarting the listener.
+type handlerSwitch struct {
+	h atomic.Value // http.Handler
+}
+
+func (s *handlerSwitch) Store(h http.Handler) { s.h.Store(&h) }
+
+func (s *handlerSwitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load().(*http.Handler)).ServeHTTP(w, r)
+}
+
+// bootstrapHandler answers probes during startup: liveness 200, readiness
+// 503 with the startup reason, everything else 503 Retry-After.
+func bootstrapHandler(health *obs.Health) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch strings.TrimSuffix(r.URL.Path, "/") {
+		case "/healthz":
+			health.ServeLive(w, r)
+		case "/readyz":
+			health.ServeReady(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "graphletd is starting", http.StatusServiceUnavailable)
+		}
+	})
 }
 
 // multiFlag collects repeated -graph flags.

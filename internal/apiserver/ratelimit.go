@@ -95,6 +95,13 @@ func (tb *TokenBucket) reserve() time.Duration {
 // unchanged. The bucket is shared across all clients, modeling a per-API
 // (not per-client) politeness limit.
 func RateLimit(next http.Handler, qps float64, burst int) http.Handler {
+	return RateLimitObserved(next, qps, burst, nil)
+}
+
+// RateLimitObserved is RateLimit with a rejection hook: rejected is invoked
+// (when non-nil) each time a throttled client gives up before obtaining a
+// token — graphletd counts these into its metrics registry.
+func RateLimitObserved(next http.Handler, qps float64, burst int, rejected func()) http.Handler {
 	if qps <= 0 {
 		return next
 	}
@@ -103,6 +110,9 @@ func RateLimit(next http.Handler, qps float64, burst int) http.Handler {
 		// A client that disconnects while throttled stops waiting and gets
 		// its reservation back instead of holding a goroutine asleep.
 		if !tb.WaitContext(r.Context()) {
+			if rejected != nil {
+				rejected()
+			}
 			w.WriteHeader(http.StatusServiceUnavailable)
 			return
 		}

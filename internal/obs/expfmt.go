@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry in the Prometheus text exposition format,
+// version 0.0.4: per family a `# HELP` line (backslash and newline
+// escaped), a `# TYPE` line, then one sample line per child — counters and
+// gauges as `name{label="value"} v`, histograms as cumulative
+// `name_bucket{...,le="bound"}` series ending in `le="+Inf"`, plus
+// `name_sum` and `name_count`. Label values escape backslash, double-quote
+// and newline. Families are rendered in name order and children in label
+// order, so consecutive scrapes of an unchanged registry are byte-identical
+// (tests diff them directly).
+
+// ContentType is the Content-Type of the exposition format served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every family in the registry to w, running collect
+// hooks first so pull-style gauges are current.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	collectors := append([]func(){}, r.collectors...)
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		children := f.snapshot()
+		if len(children) == 0 {
+			continue
+		}
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, ch := range children {
+			switch f.typ {
+			case typeCounter:
+				writeSample(bw, f.name, f.labels, ch.values, "", "", formatInt(ch.c.Value()))
+			case typeGauge:
+				writeSample(bw, f.name, f.labels, ch.values, "", "", formatInt(ch.g.Value()))
+			case typeHistogram:
+				snap := ch.h.Snapshot()
+				for i, bound := range snap.Bounds {
+					writeSample(bw, f.name+"_bucket", f.labels, ch.values,
+						"le", formatFloat(bound), formatInt(snap.Cumulative[i]))
+				}
+				writeSample(bw, f.name+"_bucket", f.labels, ch.values,
+					"le", "+Inf", formatInt(snap.Count))
+				writeSample(bw, f.name+"_sum", f.labels, ch.values, "", "", formatFloat(snap.Sum))
+				writeSample(bw, f.name+"_count", f.labels, ch.values, "", "", formatInt(snap.Count))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the exposition over HTTP (GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = r.WriteText(w)
+	})
+}
+
+// writeSample renders one line: name{labels...[,extraName="extraValue"]} value.
+func writeSample(bw *bufio.Writer, name string, labels, values []string, extraName, extraValue, sample string) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(values[i]))
+			bw.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraName)
+			bw.WriteString(`="`)
+			bw.WriteString(extraValue) // bucket bounds never need escaping
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(sample)
+	bw.WriteByte('\n')
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double-quote and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatInt(v int64) string {
+	return strconv.FormatInt(v, 10)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

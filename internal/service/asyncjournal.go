@@ -20,13 +20,11 @@ import (
 // synchronous journal could lose from the page cache — and recovery handles
 // any prefix of the history by construction.
 
-// jnlOp is one unit of the ordered append queue: a record append, a
-// compaction request, or a barrier (close the channel once everything ahead
-// of it has reached the journal — tests use this to simulate crashes at
-// known durability points).
+// jnlOp is one unit of the ordered append queue: a record append or a
+// barrier (close the channel once everything ahead of it has reached the
+// journal — tests use this to simulate crashes at known durability points).
 type jnlOp struct {
 	rec     journal.Record
-	compact bool
 	barrier chan struct{}
 }
 
@@ -82,21 +80,27 @@ func (q *appendQueue) close() {
 }
 
 // journalWriter is the single goroutine draining the append queue into the
-// journal in order.
+// journal in order. It is also where compaction triggers: only here is the
+// segment count authoritative (appends are asynchronous, so a check on the
+// submitting side races the rotation it is looking for), and triggering at
+// the rotation that crosses the bound bounds the rewrite rate to one
+// compaction per segment of growth.
 func (m *Manager) journalWriter() {
 	defer m.jnlWg.Done()
 	for {
 		ops, ok := m.jq.next()
 		for _, op := range ops {
-			switch {
-			case op.barrier != nil:
+			if op.barrier != nil {
 				close(op.barrier)
-			case op.compact:
+				continue
+			}
+			// The journal counts its own append failures
+			// (journal.Metrics.Errors); the daemon keeps serving from
+			// memory either way.
+			before := m.jnl.Segments()
+			_ = m.jnl.Append(op.rec)
+			if after := m.jnl.Segments(); after > before && after > m.opts.CompactSegments {
 				m.compactJournalAsync()
-			default:
-				if err := m.jnl.Append(op.rec); err != nil {
-					m.noteJournalErr()
-				}
 			}
 		}
 		if !ok {
@@ -120,14 +124,6 @@ func (m *Manager) syncJournal() {
 	<-ch
 }
 
-// noteJournalErr counts a failed journal operation (the daemon keeps serving
-// from memory; the counter is surfaced in Stats as degraded durability).
-func (m *Manager) noteJournalErr() {
-	m.mu.Lock()
-	m.journalErrs++
-	m.mu.Unlock()
-}
-
 // compactJournalAsync runs one compaction on the writer goroutine. The keep
 // decision needs the job table and cache-owner set, which Manager.mu guards:
 // they are snapshotted under the lock, then the (slow) segment rewrite runs
@@ -137,7 +133,6 @@ func (m *Manager) noteJournalErr() {
 // compaction can see.
 func (m *Manager) compactJournalAsync() {
 	m.mu.Lock()
-	m.compactQueued = false
 	terminal := make(map[string]bool, len(m.jobs))
 	for id, j := range m.jobs {
 		terminal[id] = j.state.terminal()
@@ -146,12 +141,13 @@ func (m *Manager) compactJournalAsync() {
 	m.mu.Unlock()
 
 	keep, err := m.newKeepFunc(terminal, owners)
-	if err == nil {
-		err = m.jnl.Compact(keep)
-	}
 	if err != nil {
-		m.noteJournalErr()
+		// The retention rule failed to build before the journal saw the
+		// operation, so count the failure here; Compact itself counts its own.
+		m.met.journal.Errors.Inc()
+		return
 	}
+	_ = m.jnl.Compact(keep)
 }
 
 // newKeepFunc builds the compaction retention rule over a consistent

@@ -4,6 +4,7 @@ import (
 	"container/list"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // resultCache is an LRU cache of completed estimation results keyed by the
@@ -22,10 +23,11 @@ import (
 // its own mutex, which also keeps cache lookups atomic with the in-flight
 // coalescing map (a spec must never be both cached and in flight).
 type resultCache struct {
-	cap    int
-	ll     *list.List // front = most recently used
-	items  map[Spec]*list.Element
-	owners map[string]*list.Element // producing job ID -> its live entry
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[Spec]*list.Element
+	owners    map[string]*list.Element // producing job ID -> its live entry
+	evictions *obs.Counter             // capacity evictions (not dropGraph purges)
 }
 
 type cacheEntry struct {
@@ -34,12 +36,13 @@ type cacheEntry struct {
 	owner string
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, evictions *obs.Counter) *resultCache {
 	return &resultCache{
-		cap:    capacity,
-		ll:     list.New(),
-		items:  make(map[Spec]*list.Element),
-		owners: make(map[string]*list.Element),
+		cap:       capacity,
+		ll:        list.New(),
+		items:     make(map[Spec]*list.Element),
+		owners:    make(map[string]*list.Element),
+		evictions: evictions,
 	}
 }
 
@@ -76,6 +79,7 @@ func (c *resultCache) put(spec Spec, res *core.Result, owner string) {
 	}
 	for c.ll.Len() > c.cap {
 		c.removeElement(c.ll.Back())
+		c.evictions.Inc()
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Server is the HTTP front end of the estimation service.
@@ -33,21 +35,45 @@ import (
 //	DELETE /v1/jobs/{id}          -> cancel; running walkers stop within a
 //	                                 few hundred transitions
 //	GET    /v1/stats              -> service counters (runs, cache hits,
-//	                                 queue depths by class, journal state...)
+//	                                 queue depths by class, queue-wait
+//	                                 quantiles, journal state...)
+//
+// Operational endpoints (non-JSON unless noted):
+//
+//	GET    /metrics               -> Prometheus text exposition of the same
+//	                                 registry /v1/stats is derived from
+//	GET    /healthz               -> liveness: 200 as soon as the listener
+//	                                 serves
+//	GET    /readyz                -> readiness: 200 once graph registration
+//	                                 and journal replay finished, 503 before
 type Server struct {
 	reg *Registry
 	mgr *Manager
+
+	// Metrics is the registry rendered at GET /metrics. NewServer defaults it
+	// to the manager's own registry; cmd/graphletd passes the same registry
+	// its HTTP middleware records into.
+	Metrics *obs.Registry
+	// Health gates GET /readyz. Nil reports ready (tests and embedded servers
+	// have no startup phase worth gating).
+	Health *obs.Health
 }
 
 // NewServer wires the registry and job manager into an HTTP handler.
 func NewServer(reg *Registry, mgr *Manager) *Server {
-	return &Server{reg: reg, mgr: mgr}
+	return &Server{reg: reg, mgr: mgr, Metrics: mgr.MetricsRegistry()}
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	path := strings.TrimSuffix(r.URL.Path, "/")
 	switch {
+	case path == "/metrics" && r.Method == http.MethodGet:
+		s.Metrics.Handler().ServeHTTP(w, r)
+	case path == "/healthz" && r.Method == http.MethodGet:
+		s.Health.ServeLive(w, r)
+	case path == "/readyz" && r.Method == http.MethodGet:
+		s.Health.ServeReady(w, r)
 	case path == "/v1/graphs" && r.Method == http.MethodGet:
 		writeJSON(w, http.StatusOK, map[string]any{"graphs": s.reg.List()})
 	case strings.HasPrefix(path, "/v1/graphs/"):
@@ -103,7 +129,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad spec: %v", err))
 		return
 	}
-	view, err := s.mgr.Submit(spec)
+	view, err := s.mgr.SubmitCtx(r.Context(), spec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -202,4 +228,26 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// RoutePattern collapses a request path to its route template so HTTP
+// metrics stay bounded-cardinality: job IDs and graph names become {id} and
+// {name} instead of one label value per resource. Unknown paths share one
+// "other" bucket (a scanner probing random URLs must not grow the registry).
+func RoutePattern(path string) string {
+	path = strings.TrimSuffix(path, "/")
+	switch path {
+	case "/v1/graphs", "/v1/jobs", "/v1/stats", "/metrics", "/healthz", "/readyz":
+		return path
+	}
+	if strings.HasPrefix(path, "/v1/graphs/") {
+		return "/v1/graphs/{name}"
+	}
+	if rest, ok := strings.CutPrefix(path, "/v1/jobs/"); ok {
+		if strings.HasSuffix(rest, "/events") {
+			return "/v1/jobs/{id}/events"
+		}
+		return "/v1/jobs/{id}"
+	}
+	return "other"
 }

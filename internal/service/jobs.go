@@ -11,6 +11,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/service/journal"
 	"repro/internal/stats"
 )
@@ -87,6 +88,7 @@ type Progress struct {
 type job struct {
 	id        string
 	spec      Spec
+	traceID   string // request ID of the submission that created the job
 	state     State
 	progress  Progress
 	result    *core.Result
@@ -109,12 +111,17 @@ type job struct {
 
 // JobView is the immutable client-facing snapshot of a job.
 type JobView struct {
-	ID       string     `json:"id"`
-	Spec     Spec       `json:"spec"`
-	State    State      `json:"state"`
-	Progress Progress   `json:"progress"`
-	Result   *JobResult `json:"result,omitempty"`
-	Error    string     `json:"error,omitempty"`
+	ID   string `json:"id"`
+	Spec Spec   `json:"spec"`
+	// RequestID traces the job back to the HTTP request that created it
+	// (the X-Request-Id the front door assigned or accepted). It rides
+	// every poll response and SSE event for the job, so one grep over the
+	// access logs follows a request end to end.
+	RequestID string     `json:"request_id,omitempty"`
+	State     State      `json:"state"`
+	Progress  Progress   `json:"progress"`
+	Result    *JobResult `json:"result,omitempty"`
+	Error     string     `json:"error,omitempty"`
 	// Cached marks a job answered from the result cache without a run.
 	Cached bool `json:"cached"`
 	// Coalesced counts submissions sharing this run (1 = no sharing).
@@ -146,7 +153,9 @@ type JobResult struct {
 	Weights       []float64 `json:"weights"`
 }
 
-// Stats aggregates service counters for observability and tests.
+// Stats aggregates service counters for observability and tests. Every
+// count is read back from the obs metrics registry also served at
+// GET /metrics, so the JSON and Prometheus views can never disagree.
 type Stats struct {
 	Jobs        int `json:"jobs"`
 	Runs        int `json:"runs"`         // estimations actually executed
@@ -161,6 +170,10 @@ type Stats struct {
 
 	// QueueByClass breaks the backlog down by priority class.
 	QueueByClass map[string]int `json:"queue_by_class,omitempty"`
+	// QueueWait reports p50/p95/p99 queue wait in seconds per priority
+	// class over a bounded window of recent dispatches (raw samples through
+	// stats.Quantile; the /metrics histograms carry the full distribution).
+	QueueWait map[string]QuantileSummary `json:"queue_wait_seconds,omitempty"`
 	// RecoveredJobs counts jobs re-queued by journal replay at startup.
 	RecoveredJobs int `json:"recovered_jobs"`
 	// ResumableJobs counts recovered jobs that carried a checkpoint snapshot
@@ -221,6 +234,10 @@ type Options struct {
 	// in-memory access.NewGraphClient. Tests and latency modeling inject
 	// wrappers (access.NewDelayed, access.NewCounting) here.
 	NewClient func(g *graph.Graph) access.Client
+	// Metrics is the observability registry the manager records into (and
+	// GET /metrics renders). nil creates a private registry — Stats is
+	// derived from the metric handles either way.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -262,26 +279,21 @@ type Manager struct {
 	reg  *Registry
 	opts Options
 
-	mu            sync.Mutex
-	jobs          map[string]*job
-	order         []string      // submission order, for List
-	inflight      map[Spec]*job // non-terminal job per spec key (single flight)
-	cache         *resultCache
-	jnl           *journal.Log
-	sched         *scheduler
-	nextID        int
-	runs          int
-	cacheHits     int
-	coalesced     int
-	active        int
-	recovered     int
-	resumable     int
-	resumedSteps  int64
-	warmed        int
-	journalErrs   int
-	compactQueued bool
-	replaying     bool
-	closed        bool
+	// met holds every counter the manager keeps; /v1/stats and /metrics
+	// are both views of it (metrics.go).
+	met *serviceMetrics
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string      // submission order, for List
+	inflight  map[Spec]*job // non-terminal job per spec key (single flight)
+	cache     *resultCache
+	jnl       *journal.Log
+	sched     *scheduler
+	waits     map[Priority]*waitReservoir // recent queue waits per class
+	nextID    int
+	replaying bool
+	closed    bool
 
 	// jq is the ordered append queue between state transitions (enqueued
 	// under mu) and the journal writer goroutine (asyncjournal.go).
@@ -296,19 +308,24 @@ type Manager struct {
 // Call Close to stop it.
 func NewManager(reg *Registry, opts Options) (*Manager, error) {
 	opts = opts.withDefaults()
+	met := newServiceMetrics(opts.Metrics, reg)
 	m := &Manager{
 		reg:      reg,
 		opts:     opts,
+		met:      met,
 		jobs:     make(map[string]*job),
 		inflight: make(map[Spec]*job),
-		cache:    newResultCache(opts.CacheSize),
-		sched:    newScheduler(opts.QueueCap),
+		cache:    newResultCache(opts.CacheSize, met.cacheEvictions),
+		sched:    newScheduler(opts.QueueCap, met.queueDepth),
+		waits:    make(map[Priority]*waitReservoir),
 		jq:       newAppendQueue(),
 	}
+	m.installCollector()
 	if opts.DataDir != "" {
 		jnl, err := journal.Open(filepath.Join(opts.DataDir, "journal"), journal.Options{
 			SegmentBytes: opts.SegmentBytes,
 			Fsync:        opts.Fsync,
+			Metrics:      met.journal,
 		})
 		if err != nil {
 			return nil, err
@@ -375,6 +392,13 @@ func (m *Manager) validate(spec Spec) error {
 // submitters already share (Coalesced > 1), or a fresh queued job awaiting
 // dispatch in its priority class.
 func (m *Manager) Submit(spec Spec) (JobView, error) {
+	return m.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit carrying the request context: the front door's
+// request ID (obs.WithRequestID) is stamped into the job it creates, so
+// poll responses and SSE events trace back to the submitting request.
+func (m *Manager) SubmitCtx(ctx context.Context, spec Spec) (JobView, error) {
 	// Normalize before keying: the engine treats Walkers 0 and 1 identically
 	// (one walker, unchanged seed stream), so they must hit the same cache
 	// and single-flight entries; likewise the empty priority is batch.
@@ -395,24 +419,27 @@ func (m *Manager) Submit(spec Spec) (JobView, error) {
 		return JobView{}, fmt.Errorf("service: manager closed")
 	}
 	key := spec.key()
+	m.met.jobs.With("submitted").Inc()
 	// Cache hit: a completed identical run answers instantly via a fresh
 	// (already terminal) job record.
 	if res, ok := m.cache.get(key); ok {
-		m.cacheHits++
+		m.met.cacheHits.Inc()
 		j := m.newJobLocked(spec)
+		j.traceID = obs.RequestIDFrom(ctx)
 		j.cached = true
 		j.coalesced = 1
 		m.journalAppendLocked(journal.TypeSubmitted, j.id,
-			recSubmitted{Spec: spec, Cached: true, GraphMeta: m.graphMeta(spec.Graph)})
+			recSubmitted{Spec: spec, Cached: true, GraphMeta: m.graphMeta(spec.Graph), RequestID: j.traceID})
 		m.finishLocked(j, StateDone, res, nil)
 		return j.view(), nil
 	}
+	m.met.cacheMisses.Inc()
 	// Single flight: an identical spec already queued or running absorbs
 	// this submission. A more urgent submitter promotes a still-queued job
 	// to its class — everyone coalesced onto it benefits.
 	if j, ok := m.inflight[key]; ok {
 		j.coalesced++
-		m.coalesced++
+		m.met.coalesced.Inc()
 		if j.state == StateQueued && priorityRank(spec.Priority) > priorityRank(j.spec.Priority) {
 			if m.sched.promote(j, spec.Priority) {
 				j.spec.Priority = spec.Priority
@@ -421,12 +448,13 @@ func (m *Manager) Submit(spec Spec) (JobView, error) {
 				// promotion re-queues the job at its promoted priority
 				// instead of silently demoting it.
 				m.journalAppendLocked(journal.TypeSubmitted, j.id,
-					recSubmitted{Spec: j.spec, GraphMeta: m.graphMeta(j.spec.Graph)})
+					recSubmitted{Spec: j.spec, GraphMeta: m.graphMeta(j.spec.Graph), RequestID: j.traceID})
 			}
 		}
 		return j.view(), nil
 	}
 	j := m.newJobLocked(spec)
+	j.traceID = obs.RequestIDFrom(ctx)
 	j.coalesced = 1
 	if err := m.sched.enqueue(j); err != nil {
 		delete(m.jobs, j.id)
@@ -435,7 +463,7 @@ func (m *Manager) Submit(spec Spec) (JobView, error) {
 	}
 	m.inflight[key] = j
 	m.journalAppendLocked(journal.TypeSubmitted, j.id,
-		recSubmitted{Spec: spec, GraphMeta: m.graphMeta(spec.Graph)})
+		recSubmitted{Spec: spec, GraphMeta: m.graphMeta(spec.Graph), RequestID: j.traceID})
 	return j.view(), nil
 }
 
@@ -470,6 +498,11 @@ func (m *Manager) newJobLocked(spec Spec) *job {
 func (m *Manager) finishLocked(j *job, state State, res *core.Result, err error) {
 	j.state = state
 	j.finished = time.Now()
+	m.met.jobs.With(string(state)).Inc()
+	if !j.started.IsZero() {
+		m.met.runDuration.With(string(j.spec.Priority)).
+			Observe(j.finished.Sub(j.started).Seconds())
+	}
 	if res != nil {
 		j.result = res
 		j.progress.Steps = res.Steps
@@ -508,7 +541,6 @@ func (m *Manager) finishLocked(j *job, state State, res *core.Result, err error)
 	j.subs = nil
 	close(j.done)
 	m.pruneLocked()
-	m.maybeCompactJournalLocked()
 }
 
 // notifySubsLocked pushes an event to every subscriber of j, dropping it
@@ -618,8 +650,9 @@ func (m *Manager) runJob(j *job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
-	m.active++
-	m.runs++
+	m.met.jobsActive.Inc()
+	m.met.runs.Inc()
+	m.recordDispatchLocked(j)
 	resumeSnap, resumeSteps := j.resumeSnap, j.resumeSteps
 	var started any
 	if resumeSteps > 0 {
@@ -665,13 +698,17 @@ func (m *Manager) runJob(j *job) {
 	j.progress.ResumedSteps = resumed
 	if resumed > 0 {
 		j.progress.Steps = resumed
-		m.resumedSteps += int64(resumed)
+		m.met.walkResumed.Add(int64(resumed))
 	} else if len(resumeSnap) > 0 {
 		// Restore failed: the replayed pre-crash progress no longer
 		// describes this (from-scratch) run.
 		j.progress = Progress{Total: j.spec.Steps}
 	}
 	m.mu.Unlock()
+	// Walk-engine metrics are recorded only here at the checkpoint barriers
+	// (the walkers are parked; a counter add is one atomic) — never inside
+	// the per-step path, which stays allocation- and atomic-free.
+	lastSteps := resumed
 	// The seed draw runs outside the engine's per-walker panic guard, and
 	// crawl clients report transport failures by panicking — a panic here
 	// must fail this job, not kill the daemon and its other jobs.
@@ -683,6 +720,9 @@ func (m *Manager) runJob(j *job) {
 		}()
 		return est.RunCheckpointsCtx(ctx, j.spec.Steps, m.snapshotEvery(j.spec.Steps),
 			func(step int, conc []float64) {
+				m.met.walkCheckpoints.Inc()
+				m.met.walkSteps.Add(int64(step - lastSteps))
+				lastSteps = step
 				// Snapshot while the walkers park at the barrier, before
 				// taking the manager lock: encoding is pure CPU over
 				// walker-private state. Skipped entirely for volatile
@@ -703,6 +743,10 @@ func (m *Manager) runJob(j *job) {
 				m.mu.Unlock()
 			})
 	}()
+	if res != nil {
+		// Steps past the last checkpoint barrier (a cancelled partial stage).
+		m.met.walkSteps.Add(int64(res.Steps - lastSteps))
+	}
 	m.settle(j, res, err)
 }
 
@@ -711,7 +755,7 @@ func (m *Manager) runJob(j *job) {
 func (m *Manager) settle(j *job, res *core.Result, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.active--
+	m.met.jobsActive.Dec()
 	delete(m.inflight, j.spec.key())
 	switch {
 	case err == nil:
@@ -797,27 +841,29 @@ func (m *Manager) List() []JobView {
 	return out
 }
 
-// Stats returns a snapshot of the service counters.
+// Stats returns a snapshot of the service counters, read back from the
+// same obs registry that backs GET /metrics.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := Stats{
 		Jobs:          len(m.jobs),
-		Runs:          m.runs,
-		CacheHits:     m.cacheHits,
+		Runs:          int(m.met.runs.Value()),
+		CacheHits:     int(m.met.cacheHits.Value()),
 		CacheSize:     m.cache.len(),
-		Coalesced:     m.coalesced,
+		Coalesced:     int(m.met.coalesced.Value()),
 		Workers:       m.opts.Workers,
 		MaxWalkers:    m.opts.MaxWalkers,
 		QueueDepth:    m.sched.depth(),
-		ActiveJobs:    m.active,
+		ActiveJobs:    int(m.met.jobsActive.Value()),
 		GraphsCount:   len(m.reg.List()),
 		QueueByClass:  m.sched.depthByClass(),
-		RecoveredJobs: m.recovered,
-		ResumableJobs: m.resumable,
-		ResumedSteps:  m.resumedSteps,
-		WarmedResults: m.warmed,
-		JournalErrors: m.journalErrs,
+		QueueWait:     m.waitQuantilesLocked(),
+		RecoveredJobs: int(m.met.recovered.Value()),
+		ResumableJobs: int(m.met.resumable.Value()),
+		ResumedSteps:  m.met.walkResumed.Value(),
+		WarmedResults: int(m.met.warmed.Value()),
+		JournalErrors: int(m.met.journal.Errors.Value()),
 	}
 	if m.jnl != nil {
 		st.JournalSegments = m.jnl.Segments()
@@ -830,6 +876,7 @@ func (j *job) view() JobView {
 	v := JobView{
 		ID:         j.id,
 		Spec:       j.spec,
+		RequestID:  j.traceID,
 		State:      j.state,
 		Progress:   j.progress,
 		Error:      j.errMsg,

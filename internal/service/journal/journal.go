@@ -57,6 +57,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Type tags a record with its job-lifecycle meaning.
@@ -130,6 +132,26 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// Metrics is the journal's optional instrumentation surface. All fields
+// are individually optional (obs metrics no-op when nil), so a caller can
+// wire any subset; a nil *Metrics disables everything.
+type Metrics struct {
+	// Appends counts records successfully written.
+	Appends *obs.Counter
+	// AppendSeconds is the per-append latency distribution, including any
+	// rotation and fsync the append triggered.
+	AppendSeconds *obs.Histogram
+	// Fsyncs counts file syncs issued (per-append under Options.Fsync, plus
+	// rotations, compactions and close).
+	Fsyncs *obs.Counter
+	// Compactions counts completed segment-rewrite compactions.
+	Compactions *obs.Counter
+	// Errors counts failed appends and compactions (degraded durability).
+	Errors *obs.Counter
+	// Segments gauges the current on-disk segment count.
+	Segments *obs.Gauge
+}
+
 // Options tunes a Log. The zero value gets production defaults.
 type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this size.
@@ -140,11 +162,16 @@ type Options struct {
 	// crash) but not necessarily the platter (power loss may drop the tail,
 	// which reopen truncates cleanly).
 	Fsync bool
+	// Metrics receives the log's operational counters (nil disables).
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.Metrics == nil {
+		o.Metrics = &Metrics{}
 	}
 	return o
 }
@@ -398,6 +425,18 @@ func (l *Log) encodeBody(rec Record) ([]byte, error) {
 // Append writes rec to the active segment, rotating first if the segment is
 // over the size threshold. A zero Time is stamped with the current clock.
 func (l *Log) Append(rec Record) error {
+	start := time.Now()
+	err := l.append(rec)
+	if err != nil {
+		l.opts.Metrics.Errors.Inc()
+		return err
+	}
+	l.opts.Metrics.Appends.Inc()
+	l.opts.Metrics.AppendSeconds.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+func (l *Log) append(rec Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.active == nil {
@@ -420,17 +459,23 @@ func (l *Log) Append(rec Record) error {
 	}
 	l.activeSize += int64(len(frame))
 	if l.opts.Fsync {
-		if err := l.active.Sync(); err != nil {
+		if err := l.syncFile(l.active); err != nil {
 			return fmt.Errorf("journal: %w", err)
 		}
 	}
 	return nil
 }
 
+// syncFile issues (and counts) one fsync.
+func (l *Log) syncFile(f *os.File) error {
+	l.opts.Metrics.Fsyncs.Inc()
+	return f.Sync()
+}
+
 // rotateLocked seals the active segment and starts the next one. Caller
 // holds l.mu.
 func (l *Log) rotateLocked() error {
-	if err := l.active.Sync(); err != nil {
+	if err := l.syncFile(l.active); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	if err := l.active.Close(); err != nil {
@@ -498,6 +543,7 @@ func (l *Log) setSegCountLocked() {
 		n++
 	}
 	l.segCount.Store(int64(n))
+	l.opts.Metrics.Segments.Set(int64(n))
 }
 
 // Size returns the total on-disk byte size of the log.
@@ -520,12 +566,22 @@ func (l *Log) Size() int64 {
 // both — replay then sees each kept record twice, which is safe for
 // consumers that apply records idempotently.
 func (l *Log) Compact(keep func(Record) bool) error {
+	err := l.compact(keep)
+	if err != nil {
+		l.opts.Metrics.Errors.Inc()
+		return err
+	}
+	l.opts.Metrics.Compactions.Inc()
+	return nil
+}
+
+func (l *Log) compact(keep func(Record) bool) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.active == nil {
 		return fmt.Errorf("journal: log closed")
 	}
-	if err := l.active.Sync(); err != nil {
+	if err := l.syncFile(l.active); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	old := append(append([]int(nil), l.sealed...), l.activeIdx)
@@ -560,7 +616,7 @@ func (l *Log) Compact(keep func(Record) bool) error {
 				return err
 			}
 		}
-		return f.Sync()
+		return l.syncFile(f)
 	}
 	if err := write(); err != nil {
 		f.Close()
@@ -600,7 +656,7 @@ func (l *Log) Sync() error {
 	if l.active == nil {
 		return nil
 	}
-	if err := l.active.Sync(); err != nil {
+	if err := l.syncFile(l.active); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	return nil
@@ -613,7 +669,7 @@ func (l *Log) Close() error {
 	if l.active == nil {
 		return nil
 	}
-	err := l.active.Sync()
+	err := l.syncFile(l.active)
 	if cerr := l.active.Close(); err == nil {
 		err = cerr
 	}

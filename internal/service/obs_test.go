@@ -1,0 +1,346 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// newObservedServer wires a manager and HTTP server the way cmd/graphletd
+// does: shared obs registry, Trace front door with the RoutePattern label,
+// and a Health that is already ready.
+func newObservedServer(t *testing.T, opts Options) (*Manager, *obs.Registry, *httptest.Server) {
+	t.Helper()
+	metrics := obs.NewRegistry()
+	opts.Metrics = metrics
+	reg := testRegistry(t)
+	mgr := newTestManager(t, reg, opts)
+	t.Cleanup(mgr.Close)
+	api := NewServer(reg, mgr)
+	health := obs.NewHealth("starting")
+	health.SetReady()
+	api.Health = health
+	handler := obs.Trace(api, obs.TraceOptions{
+		Metrics: obs.NewHTTPMetrics(metrics, "graphletd"),
+		PathLabel: func(r *http.Request) string {
+			return RoutePattern(r.URL.Path)
+		},
+	})
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	return mgr, metrics, srv
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("GET /metrics Content-Type = %q; want %q", ct, obs.ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts one sample value from an exposition (series must be
+// present exactly as prefixed, e.g. `graphletd_runs_total` or
+// `graphletd_jobs_total{state="done"}`).
+func metricValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			var v float64
+			if _, err := fmtSscan(rest, &v); err != nil {
+				t.Fatalf("series %s: bad value %q", series, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not found in exposition:\n%s", series, text)
+	return 0
+}
+
+func fmtSscan(s string, v *float64) (int, error) {
+	var err error
+	*v, err = parseFloatForTest(s)
+	if err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+func parseFloatForTest(s string) (float64, error) {
+	var v float64
+	err := json.Unmarshal([]byte(strings.TrimSpace(s)), &v)
+	return v, err
+}
+
+// TestMetricsEndToEnd drives a job through the daemon's full front door and
+// checks that every layer reported: HTTP metrics, job lifecycle, scheduler
+// wait histograms, cache counters, walk-engine counters, and the /v1/stats
+// view derived from the same registry.
+func TestMetricsEndToEnd(t *testing.T) {
+	_, _, srv := newObservedServer(t, Options{Workers: 2, MaxWalkers: 2})
+
+	spec := Spec{Graph: "hk", K: 4, D: 2, CSS: true, Steps: 6000, Walkers: 2, Seed: 7}
+	view, status := postJob(t, srv.URL, spec)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d", status)
+	}
+	done := pollDone(t, srv.URL, view.ID)
+	if done.State != StateDone {
+		t.Fatalf("job finished %s: %s", done.State, done.Error)
+	}
+
+	// Same spec again: a cache hit, answered 200 without a second run.
+	if _, status := postJob(t, srv.URL, spec); status != http.StatusOK {
+		t.Fatalf("cache-hit submit: status %d", status)
+	}
+
+	text := scrape(t, srv.URL)
+	checks := map[string]float64{
+		`graphletd_jobs_total{state="submitted"}`: 2,
+		`graphletd_jobs_total{state="done"}`:      2,
+		`graphletd_runs_total`:                    1,
+		`graphletd_cache_hits_total`:              1,
+		`graphletd_cache_misses_total`:            1,
+		`graphletd_cache_entries`:                 1,
+		`graphletd_jobs_active`:                   0,
+		`graphletd_graphs{source="inline"}`:       2,
+	}
+	for series, want := range checks {
+		if got := metricValue(t, text, series); got != want {
+			t.Errorf("%s = %v; want %v", series, got, want)
+		}
+	}
+	// Histograms observed the run: one dispatch in the batch class.
+	if got := metricValue(t, text, `graphletd_queue_wait_seconds_count{class="batch"}`); got != 1 {
+		t.Errorf("queue_wait count = %v; want 1", got)
+	}
+	if !strings.Contains(text, `graphletd_queue_wait_seconds_bucket{class="batch",le="+Inf"} 1`) {
+		t.Error("queue_wait +Inf bucket missing or wrong")
+	}
+	if got := metricValue(t, text, `graphletd_run_duration_seconds_count{class="batch"}`); got != 1 {
+		t.Errorf("run_duration count = %v; want 1", got)
+	}
+	// The walk engine accumulated the full step budget at checkpoint barriers.
+	if got := metricValue(t, text, `graphletd_walk_steps_total`); got != float64(spec.Steps) {
+		t.Errorf("walk_steps_total = %v; want %v", got, spec.Steps)
+	}
+	if got := metricValue(t, text, `graphletd_walk_checkpoints_total`); got < 1 {
+		t.Errorf("walk_checkpoints_total = %v; want >= 1", got)
+	}
+	// HTTP layer: the submit requests were counted under the route template.
+	if got := metricValue(t, text, `graphletd_http_requests_total{method="POST",path="/v1/jobs",code="202"}`); got != 1 {
+		t.Errorf("POST 202 count = %v; want 1", got)
+	}
+	if got := metricValue(t, text, `graphletd_http_requests_total{method="POST",path="/v1/jobs",code="200"}`); got != 1 {
+		t.Errorf("POST 200 (cache hit) count = %v; want 1", got)
+	}
+
+	// /v1/stats is derived from the same registry: the numbers must agree.
+	st := getStats(t, srv.URL)
+	if st.Runs != 1 || st.CacheHits != 1 || st.CacheSize != 1 {
+		t.Errorf("stats runs/hits/size = %d/%d/%d; want 1/1/1", st.Runs, st.CacheHits, st.CacheSize)
+	}
+	qw, ok := st.QueueWait["batch"]
+	if !ok {
+		t.Fatalf("stats queue_wait_seconds missing batch class: %+v", st.QueueWait)
+	}
+	if qw.Count != 1 || qw.P50 < 0 || qw.P99 < qw.P50 {
+		t.Errorf("queue-wait summary incoherent: %+v", qw)
+	}
+}
+
+// TestRequestIDEndToEnd follows one X-Request-Id from submission through
+// job views and the SSE stream.
+func TestRequestIDEndToEnd(t *testing.T) {
+	_, _, srv := newObservedServer(t, Options{Workers: 1, MaxWalkers: 1})
+
+	const rid = "trace-me-42"
+	body, _ := json.Marshal(Spec{Graph: "hk", K: 4, D: 2, CSS: true, Steps: 4000, Walkers: 1, Seed: 3})
+	req, _ := http.NewRequest("POST", srv.URL+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set(obs.RequestIDHeader, rid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get(obs.RequestIDHeader); got != rid {
+		t.Errorf("response echoed request ID %q; want %q", got, rid)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if view.RequestID != rid {
+		t.Errorf("submit response RequestID = %q; want %q", view.RequestID, rid)
+	}
+
+	// Polls (different requests, different IDs) still report the submitting
+	// request's ID on the job.
+	if got := getJob(t, srv.URL, view.ID); got.RequestID != rid {
+		t.Errorf("polled RequestID = %q; want %q", got.RequestID, rid)
+	}
+
+	// The SSE stream works through the Trace wrapper (Flusher preserved) and
+	// every event's JobView carries the ID.
+	sseResp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	if got := sseResp.Header.Get("Content-Type"); got != "text/event-stream" {
+		t.Fatalf("SSE Content-Type = %q", got)
+	}
+	sc := bufio.NewScanner(sseResp.Body)
+	events := 0
+	deadline := time.After(60 * time.Second)
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+scan:
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				break scan
+			}
+			data, isData := strings.CutPrefix(line, "data: ")
+			if !isData {
+				continue
+			}
+			var ev JobView
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatalf("bad SSE data %q: %v", data, err)
+			}
+			if ev.RequestID != rid {
+				t.Errorf("SSE event RequestID = %q; want %q", ev.RequestID, rid)
+			}
+			events++
+			if ev.State.terminal() {
+				break scan
+			}
+		case <-deadline:
+			t.Fatal("SSE stream did not reach a terminal event")
+		}
+	}
+	if events == 0 {
+		t.Fatal("no SSE events received")
+	}
+
+	// A request with no client ID gets a generated one.
+	resp2, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get(obs.RequestIDHeader); !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(got) {
+		t.Errorf("generated request ID %q is not 16 hex chars", got)
+	}
+}
+
+// TestHealthEndpoints exercises /healthz and /readyz through the server.
+func TestHealthEndpoints(t *testing.T) {
+	metrics := obs.NewRegistry()
+	reg := testRegistry(t)
+	mgr := newTestManager(t, reg, Options{Workers: 1, MaxWalkers: 1, Metrics: metrics})
+	defer mgr.Close()
+	api := NewServer(reg, mgr)
+	health := obs.NewHealth("replaying journal")
+	api.Health = health
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz = %d; want 200", code)
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before ready = %d; want 503", code)
+	}
+	health.SetReady()
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz after ready = %d; want 200", code)
+	}
+	// A server with no Health wired (tests, embedded use) is always ready.
+	api.Health = nil
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz with nil Health = %d; want 200", code)
+	}
+}
+
+// TestMetricsWithoutSharedRegistry: a manager built with no Options.Metrics
+// still keeps correct stats via its private registry.
+func TestPrivateRegistryStats(t *testing.T) {
+	reg := testRegistry(t)
+	mgr := newTestManager(t, reg, Options{Workers: 1, MaxWalkers: 1})
+	defer mgr.Close()
+	view, err := mgr.Submit(Spec{Graph: "hk", K: 4, D: 2, CSS: true, Steps: 2000, Walkers: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := mgr.Get(view.ID); ok && v.State.terminal() {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := mgr.Stats()
+	if st.Runs != 1 || st.Jobs != 1 {
+		t.Errorf("private-registry stats runs/jobs = %d/%d; want 1/1", st.Runs, st.Jobs)
+	}
+}
+
+// TestRoutePattern pins the route templates metrics labels use.
+func TestRoutePattern(t *testing.T) {
+	cases := map[string]string{
+		"/v1/jobs":             "/v1/jobs",
+		"/v1/jobs/":            "/v1/jobs",
+		"/v1/jobs/j-17":        "/v1/jobs/{id}",
+		"/v1/jobs/j-17/events": "/v1/jobs/{id}/events",
+		"/v1/graphs":           "/v1/graphs",
+		"/v1/graphs/hk":        "/v1/graphs/{name}",
+		"/v1/stats":            "/v1/stats",
+		"/metrics":             "/metrics",
+		"/healthz":             "/healthz",
+		"/readyz":              "/readyz",
+		"/random/probe":        "other",
+		"/":                    "other",
+	}
+	for path, want := range cases {
+		if got := RoutePattern(path); got != want {
+			t.Errorf("RoutePattern(%q) = %q; want %q", path, got, want)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/datasets"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // GraphInfo is the introspection record served for one registered graph.
@@ -54,6 +55,7 @@ type Registry struct {
 	mu     sync.RWMutex
 	graphs map[string]*graph.Graph
 	infos  map[string]GraphInfo
+	gauge  *obs.GaugeVec // graphs by source; nil-safe obs no-ops when unwired
 }
 
 // NewRegistry returns an empty registry.
@@ -82,6 +84,7 @@ func (r *Registry) Add(name, source string, g *graph.Graph) error {
 		Edges:     g.NumEdges(),
 		MaxDegree: g.MaxDegree(),
 	}
+	r.gauge.With(source).Inc()
 	return nil
 }
 
@@ -134,9 +137,26 @@ func (r *Registry) Remove(name string) bool {
 	if _, ok := r.graphs[name]; !ok {
 		return false
 	}
+	r.gauge.With(r.infos[name].Source).Dec()
 	delete(r.graphs, name)
 	delete(r.infos, name)
 	return true
+}
+
+// instrument wires the per-source graph-count gauge, seeding it from the
+// graphs already registered (graphletd registers graphs before building the
+// Manager whose metrics own the gauge).
+func (r *Registry) instrument(g *obs.GaugeVec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauge = g
+	counts := make(map[string]int64)
+	for _, info := range r.infos {
+		counts[info.Source]++
+	}
+	for source, n := range counts {
+		g.With(source).Set(n)
+	}
 }
 
 // Get returns the graph registered under name.

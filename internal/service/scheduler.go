@@ -3,6 +3,8 @@ package service
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Priority is a job's scheduling class. Interactive jobs overtake batch
@@ -86,16 +88,26 @@ type scheduler struct {
 	size   int
 	cap    int
 	closed bool
+
+	// depthGauge mirrors per-class backlog into the metrics registry at
+	// every queue mutation (nil-safe obs no-ops when unwired).
+	depthGauge *obs.GaugeVec
 }
 
-func newScheduler(queueCap int) *scheduler {
+func newScheduler(queueCap int, depthGauge *obs.GaugeVec) *scheduler {
 	s := &scheduler{
-		queues: make(map[Priority][]*job),
-		pass:   make(map[Priority]float64),
-		cap:    queueCap,
+		queues:     make(map[Priority][]*job),
+		pass:       make(map[Priority]float64),
+		cap:        queueCap,
+		depthGauge: depthGauge,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// noteDepthLocked refreshes class p's queue-depth gauge. Caller holds s.mu.
+func (s *scheduler) noteDepthLocked(p Priority) {
+	s.depthGauge.With(string(p)).Set(int64(len(s.queues[p])))
 }
 
 // jobCost is the deficit a dispatch charges: the job's step budget, the
@@ -132,6 +144,7 @@ func (s *scheduler) enqueue(j *job) error {
 	}
 	s.queues[p] = append(s.queues[p], j)
 	s.size++
+	s.noteDepthLocked(p)
 	s.cond.Signal()
 	return nil
 }
@@ -163,6 +176,7 @@ func (s *scheduler) next() (*job, bool) {
 	q[0] = nil
 	s.queues[best] = q[1:]
 	s.size--
+	s.noteDepthLocked(best)
 	s.pass[best] += jobCost(j) / priorityWeight(best)
 	// Advance the virtual clock to the smallest pass still backlogged (or to
 	// the dispatched class's new pass when the backlog drained). Classes
@@ -196,6 +210,7 @@ func (s *scheduler) removeLocked(j *job) bool {
 		if queued == j {
 			s.queues[j.spec.Priority] = append(q[:i], q[i+1:]...)
 			s.size--
+			s.noteDepthLocked(j.spec.Priority)
 			return true
 		}
 	}
@@ -216,6 +231,7 @@ func (s *scheduler) promote(j *job, to Priority) bool {
 	}
 	s.queues[to] = append(s.queues[to], j)
 	s.size++
+	s.noteDepthLocked(to)
 	s.cond.Signal()
 	return true
 }
@@ -230,6 +246,7 @@ func (s *scheduler) drain() []*job {
 	for p, q := range s.queues {
 		out = append(out, q...)
 		s.queues[p] = nil
+		s.noteDepthLocked(p)
 	}
 	s.size = 0
 	s.cond.Broadcast()

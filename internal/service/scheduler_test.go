@@ -14,7 +14,7 @@ func schedJob(id string, p Priority, steps int) *job {
 // jobs overtake expensive background ones while background still gets its
 // proportional turn.
 func TestSchedulerDispatchOrder(t *testing.T) {
-	s := newScheduler(16)
+	s := newScheduler(16, nil)
 	jobs := []*job{
 		schedJob("A", PriorityInteractive, 6400), // +100 per dispatch
 		schedJob("B", PriorityInteractive, 6400),
@@ -46,7 +46,7 @@ func TestSchedulerDispatchOrder(t *testing.T) {
 // job's pass stays behind the advancing interactive pass, so it is
 // dispatched long before the flood drains.
 func TestSchedulerNoStarvation(t *testing.T) {
-	s := newScheduler(64)
+	s := newScheduler(64, nil)
 	for i := 0; i < 10; i++ {
 		if err := s.enqueue(schedJob("i", PriorityInteractive, 6400)); err != nil {
 			t.Fatal(err)
@@ -70,7 +70,7 @@ func TestSchedulerNoStarvation(t *testing.T) {
 // The backlog cap rejects over-admission, remove unlinks queued jobs, and
 // drain hands back the remainder exactly once.
 func TestSchedulerCapRemoveDrain(t *testing.T) {
-	s := newScheduler(2)
+	s := newScheduler(2, nil)
 	a := schedJob("a", PriorityBatch, 100)
 	b := schedJob("b", PriorityInteractive, 100)
 	if err := s.enqueue(a); err != nil {
@@ -109,7 +109,7 @@ func TestSchedulerCapRemoveDrain(t *testing.T) {
 // Promote moves a queued job between classes so a coalesced interactive
 // submitter drags a shared batch job forward.
 func TestSchedulerPromote(t *testing.T) {
-	s := newScheduler(16)
+	s := newScheduler(16, nil)
 	slow := schedJob("slow", PriorityBackground, 1000)
 	shared := schedJob("shared", PriorityBackground, 1000)
 	if err := s.enqueue(slow); err != nil {

@@ -400,7 +400,7 @@ func TestServiceValidation(t *testing.T) {
 // The LRU evicts least-recently-used entries at capacity and get refreshes
 // recency.
 func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, nil)
 	spec := func(seed int64) Spec { return Spec{Graph: "g", K: 3, D: 1, Steps: 10, Seed: seed} }
 	res := func(steps int) *core.Result { return &core.Result{Steps: steps} }
 	c.put(spec(1), res(1), "j-1")

@@ -46,6 +46,10 @@ type recSubmitted struct {
 	// registered graph and refuses to warm the cache (or re-run the job)
 	// from results that belong to different topology.
 	GraphMeta *GraphInfo `json:"graph_meta,omitempty"`
+	// RequestID is the trace ID of the HTTP request that admitted the job, so
+	// a recovered job still answers "which request asked for this" after a
+	// restart.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // recStarted is the payload of a TypeStarted record. PR-4 records had no
@@ -97,7 +101,9 @@ func (m *Manager) journalAppendLocked(typ journal.Type, jobID string, payload an
 	if payload != nil {
 		var err error
 		if body, err = json.Marshal(payload); err != nil {
-			m.journalErrs++
+			// Marshal failures never reach the journal, so the journal cannot
+			// count them itself.
+			m.met.journal.Errors.Inc()
 			return
 		}
 	}
@@ -159,6 +165,7 @@ func (m *Manager) recover() error {
 			j.coalesced = 1
 			j.created = time.Unix(0, rec.Time)
 			j.progress = Progress{Total: p.Spec.Steps}
+			j.traceID = p.RequestID
 			metas[j.id] = p.GraphMeta
 		case journal.TypeStarted:
 			j.state = StateRunning
@@ -231,7 +238,7 @@ func (m *Manager) recover() error {
 			if j.result != nil {
 				if sameBind(id, j.spec.Graph) {
 					m.cache.put(j.spec.key(), j.result, j.id)
-					m.warmed++
+					m.met.warmed.Inc()
 				}
 				j.progress.Steps = j.result.Steps
 				j.progress.Concentration = j.result.Concentration()
@@ -265,7 +272,7 @@ func (m *Manager) recover() error {
 			if len(j.resumeSnap) > 0 {
 				j.progress.Total = j.spec.Steps
 				j.progress.ResumedSteps = j.resumeSteps
-				m.resumable++
+				m.met.resumable.Inc()
 			} else {
 				j.progress = Progress{Total: j.spec.Steps}
 			}
@@ -276,7 +283,7 @@ func (m *Manager) recover() error {
 				continue
 			}
 			m.inflight[j.spec.key()] = j
-			m.recovered++
+			m.met.recovered.Inc()
 		}
 	}
 	m.pruneLocked()
@@ -299,22 +306,8 @@ func jobIDNumber(id string) int {
 	return n
 }
 
-// maybeCompactJournalLocked queues a compaction once the log spans more
-// segments than the configured bound, dropping superseded records so
-// on-disk size tracks the live job table instead of total request history.
-// The rewrite itself runs on the journal writer goroutine
-// (compactJournalAsync), with the retention rule of keepRecord
-// (asyncjournal.go); checkpoint records of live jobs survive because they
-// carry the resume snapshots. Caller holds m.mu.
-func (m *Manager) maybeCompactJournalLocked() {
-	if m.jnl == nil || m.compactQueued || m.jnl.Segments() <= m.opts.CompactSegments {
-		return
-	}
-	m.compactQueued = true
-	m.jq.push(jnlOp{compact: true})
-}
-
-// compactJournalNow compacts synchronously under the same retention rule.
+// compactJournalNow compacts synchronously under the retention rule of
+// newKeepFunc (asyncjournal.go).
 // Only called from recover, before the writer goroutine and worker pool
 // exist, so reading the job table and cache without m.mu is safe.
 func (m *Manager) compactJournalNow() error {
