@@ -42,10 +42,21 @@
 // graphs are likewise cached as .gcsr under $REPRO_CACHE_DIR after first
 // build.
 //
+// Multi-size jobs: a spec with "sizes":[3,4,5] instead of "k" runs one
+// shared random walk covering every listed size — the step budget (and the
+// scheduler charge) is paid once, and on completion the result cache is
+// fan-out-filled with one entry per size, so later single-size requests for
+// any covered k answer instantly. -sizes sets the admission allowlist
+// (default 3,4,5). Checkpoint snapshots, crash recovery, and mid-budget
+// resume all work for multi-size jobs, with per-size results byte-identical
+// to independent runs.
+//
 // Submit and poll with curl:
 //
 //	curl -s -X POST localhost:9090/v1/jobs -d \
 //	  '{"graph":"epinion","k":4,"d":2,"css":true,"steps":20000,"walkers":4,"seed":1,"priority":"interactive"}'
+//	curl -s -X POST localhost:9090/v1/jobs -d \
+//	  '{"graph":"epinion","sizes":[3,4,5],"d":2,"css":true,"steps":20000,"walkers":4,"seed":1}'
 //	curl -s localhost:9090/v1/jobs/j-1
 //	curl -sN localhost:9090/v1/jobs/j-1/events     # SSE progress stream
 //	curl -s -X DELETE localhost:9090/v1/jobs/j-1   # cancel
@@ -60,6 +71,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // -pprof side listener (http.DefaultServeMux only)
 	"os"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -80,6 +92,7 @@ func main() {
 		maxWalkers = flag.Int("max-walkers", 8, "per-job walker cap")
 		cacheSize  = flag.Int("cache", 256, "result-cache capacity (negative disables)")
 		snapshot   = flag.Int("snapshot-every", 0, "progress checkpoint spacing in windows (0 = auto)")
+		sizesFlag  = flag.String("sizes", "3,4,5", "comma-separated sizes multi-size jobs may request (empty disables them)")
 		latency    = flag.Duration("latency", 0, "simulated per-call API latency (crawl modeling)")
 		dataDir    = flag.String("data-dir", "", "durability directory: journal job history here, replay it on start (empty = volatile)")
 		fsync      = flag.Bool("fsync", false, "fsync every journal append (with -data-dir)")
@@ -144,11 +157,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	multiSizes := []int{} // non-nil: an empty -sizes disables multi-size jobs
+	if *sizesFlag != "" {
+		for _, f := range strings.Split(*sizesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fail(fmt.Errorf("bad -sizes entry %q: %v", f, err))
+			}
+			multiSizes = append(multiSizes, n)
+		}
+	}
 	opts := service.Options{
 		Workers:       *workers,
 		MaxWalkers:    *maxWalkers,
 		CacheSize:     *cacheSize,
 		SnapshotEvery: *snapshot,
+		MultiSizes:    multiSizes,
 		DataDir:       *dataDir,
 		Fsync:         *fsync,
 		Metrics:       metrics,

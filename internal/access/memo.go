@@ -28,9 +28,25 @@ type Memo struct {
 
 	lookups atomic.Int64
 	fetches atomic.Int64
+
+	// Hub bitset accounting: hubBudget is the bytes still available for
+	// dense adjacency rows, hubRows/hubBytes count what was built.
+	hubBudget atomic.Int64
+	hubRows   atomic.Int64
+	hubBytes  atomic.Int64
 }
 
 const memoShards = 64
+
+// memoHubDegreeFloor mirrors graph.Graph's hub threshold: below it a binary
+// search is only a handful of steps and a bitset row would waste memory.
+const memoHubDegreeFloor = 64
+
+// memoHubBudgetFloor is the baseline byte budget for hub rows; each crawled
+// neighbor list adds 4 bytes per entry on top (the same all-rows-cost-what-
+// the-adjacency-costs rule graph.Graph.buildHubIndex uses, adapted to a
+// cache whose "adjacency array" grows as the crawl proceeds).
+const memoHubBudgetFloor = 1 << 20
 
 type memoShard struct {
 	mu sync.Mutex
@@ -41,6 +57,11 @@ type memoEntry struct {
 	once sync.Once
 	done atomic.Bool
 	ns   []int32
+	// bits is a dense adjacency row covering node ids up to the largest
+	// neighbor (nil for non-hubs or when over budget): bit v set iff v is a
+	// neighbor. Built before done is published, so any reader that observed
+	// done also observes the row.
+	bits []uint64
 }
 
 // NewMemo wraps inner. The inner client must be safe for concurrent use if
@@ -51,6 +72,7 @@ func NewMemo(inner Client) *Memo {
 	for i := range c.shards {
 		c.shards[i].m = make(map[int32]*memoEntry)
 	}
+	c.hubBudget.Store(memoHubBudgetFloor)
 	return c
 }
 
@@ -61,11 +83,20 @@ type MemoStats struct {
 	// InnerFetches counts neighbor lists actually fetched from the inner
 	// client — the de-duplicated crawl footprint.
 	InnerFetches int64
+	// HubRows/HubBytes count the dense adjacency bitset rows built for hot
+	// crawled hubs (O(1) HasEdge) and the memory they occupy.
+	HubRows  int64
+	HubBytes int64
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Memo) Stats() MemoStats {
-	return MemoStats{Lookups: c.lookups.Load(), InnerFetches: c.fetches.Load()}
+	return MemoStats{
+		Lookups:      c.lookups.Load(),
+		InnerFetches: c.fetches.Load(),
+		HubRows:      c.hubRows.Load(),
+		HubBytes:     c.hubBytes.Load(),
+	}
 }
 
 func (c *Memo) shard(v int32) *memoShard { return &c.shards[uint32(v)%memoShards] }
@@ -98,6 +129,10 @@ func (c *Memo) neighbors(v int32) []int32 {
 		}()
 		c.fetches.Add(1)
 		e.ns = c.inner.Neighbors(v)
+		// Every crawled list funds the hub-row budget, then high-degree
+		// nodes claim a dense bitset from it (graph.Graph's rule).
+		c.hubBudget.Add(int64(4 * len(e.ns)))
+		e.bits = c.buildHubRow(e.ns)
 		e.done.Store(true)
 	})
 	if !e.done.Load() {
@@ -106,16 +141,52 @@ func (c *Memo) neighbors(v int32) []int32 {
 	return e.ns
 }
 
-// cached returns v's neighbor list only if it is already fully fetched.
-func (c *Memo) cachedList(v int32) ([]int32, bool) {
+// cachedEntry returns v's cache entry only if it is already fully fetched.
+func (c *Memo) cachedEntry(v int32) (*memoEntry, bool) {
 	sh := c.shard(v)
 	sh.mu.Lock()
 	e, ok := sh.m[v]
 	sh.mu.Unlock()
 	if ok && e.done.Load() {
-		return e.ns, true
+		return e, true
 	}
 	return nil, false
+}
+
+// buildHubRow constructs the dense adjacency row for a fetched neighbor
+// list, when the list qualifies as a hub and the byte budget allows. The row
+// spans ids up to the largest neighbor only — any id past the row's end is
+// by construction not a neighbor.
+func (c *Memo) buildHubRow(ns []int32) []uint64 {
+	if len(ns) < memoHubDegreeFloor {
+		return nil
+	}
+	stride := int(ns[len(ns)-1]>>6) + 1
+	need := int64(stride) * 8
+	if c.hubBudget.Add(-need) < 0 {
+		c.hubBudget.Add(need) // return the credit; this node stays rowless
+		return nil
+	}
+	row := make([]uint64, stride)
+	for _, u := range ns {
+		row[u>>6] |= 1 << (uint(u) & 63)
+	}
+	c.hubRows.Add(1)
+	c.hubBytes.Add(need)
+	return row
+}
+
+// contains answers a membership probe against a fetched entry: O(1) off the
+// hub row when one was built, binary search otherwise.
+func (e *memoEntry) contains(v int32) bool {
+	if e.bits != nil {
+		idx := int(uint32(v) >> 6)
+		if idx >= len(e.bits) {
+			return false
+		}
+		return e.bits[idx]&(1<<(uint(v)&63)) != 0
+	}
+	return containsSorted(e.ns, v)
 }
 
 // Degree implements Client.
@@ -128,15 +199,22 @@ func (c *Memo) Neighbors(v int32) []int32 { return c.neighbors(v) }
 func (c *Memo) Neighbor(v int32, i int) int32 { return c.neighbors(v)[i] }
 
 // HasEdge implements Client, answering from cached neighbor lists when
-// either endpoint is present and otherwise fetching u's list.
+// either endpoint is present — O(1) against hot crawled hubs via their
+// bitset rows — and otherwise fetching u's list.
 func (c *Memo) HasEdge(u, v int32) bool {
-	if ns, ok := c.cachedList(u); ok {
-		return containsSorted(ns, v)
+	if e, ok := c.cachedEntry(u); ok {
+		return e.contains(v)
 	}
-	if ns, ok := c.cachedList(v); ok {
-		return containsSorted(ns, u)
+	if e, ok := c.cachedEntry(v); ok {
+		return e.contains(u)
 	}
-	return containsSorted(c.neighbors(u), v)
+	c.neighbors(u)
+	e, ok := c.cachedEntry(u)
+	if !ok {
+		// Unreachable after a successful fetch; kept as a plain fallback.
+		return containsSorted(c.neighbors(u), v)
+	}
+	return e.contains(v)
 }
 
 // RandomNode implements Client.

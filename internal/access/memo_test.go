@@ -133,3 +133,98 @@ func TestMemoFetchPanicNotCached(t *testing.T) {
 		t.Errorf("inner fetches = %d, want 2 (failed + retry)", st.InnerFetches)
 	}
 }
+
+// Hub bitsets: crawling a high-degree node builds a dense adjacency row, and
+// HasEdge answers against it agree exactly with the inner client — including
+// probes beyond the row's end (ids larger than the hub's largest neighbor).
+func TestMemoHubBitsetCorrect(t *testing.T) {
+	g := gen.BarabasiAlbert(800, 6, 5)
+	inner := NewGraphClient(g)
+	memo := NewMemo(inner)
+
+	// Find a hub (BA graphs always have one) and crawl it.
+	var hub int32 = -1
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if inner.Degree(v) >= memoHubDegreeFloor {
+			hub = v
+			break
+		}
+	}
+	if hub < 0 {
+		t.Fatal("fixture has no hub")
+	}
+	memo.Neighbors(hub)
+	st := memo.Stats()
+	if st.HubRows != 1 || st.HubBytes == 0 {
+		t.Fatalf("stats after crawling one hub: %+v", st)
+	}
+	e, ok := memo.cachedEntry(hub)
+	if !ok || e.bits == nil {
+		t.Fatal("hub entry has no bitset row")
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if v == hub {
+			continue
+		}
+		if got, want := memo.HasEdge(hub, v), inner.HasEdge(hub, v); got != want {
+			t.Fatalf("HasEdge(hub, %d) = %v, want %v", v, got, want)
+		}
+	}
+	// Ids past the row's end are decisively non-adjacent, not out-of-range.
+	if memo.HasEdge(hub, int32(g.NumNodes())+1000) {
+		t.Error("HasEdge beyond row end returned true")
+	}
+}
+
+// Low-degree nodes never get a row, and an exhausted budget degrades
+// gracefully to binary search (answers stay correct).
+func TestMemoHubBudget(t *testing.T) {
+	g := gen.BarabasiAlbert(800, 6, 5)
+	inner := NewGraphClient(g)
+	memo := NewMemo(inner)
+	memo.hubBudget.Store(8) // too small for any row, and fetches barely fund it
+
+	var hub, leaf int32 = -1, -1
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if hub < 0 && inner.Degree(v) >= memoHubDegreeFloor {
+			hub = v
+		}
+		if leaf < 0 && inner.Degree(v) < memoHubDegreeFloor {
+			leaf = v
+		}
+	}
+	memo.Neighbors(leaf)
+	if e, _ := memo.cachedEntry(leaf); e.bits != nil {
+		t.Error("low-degree node got a bitset row")
+	}
+	memo.Neighbors(hub)
+	for v := int32(0); v < 100; v++ {
+		if v != hub && memo.HasEdge(hub, v) != inner.HasEdge(hub, v) {
+			t.Fatalf("HasEdge(hub, %d) mismatch under exhausted budget", v)
+		}
+	}
+}
+
+// Concurrent crawls of hubs race the row build against probes (run with
+// -race): any goroutine that sees the entry done must also see its row.
+func TestMemoHubBitsetConcurrent(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 8, 9)
+	inner := NewGraphClient(g)
+	memo := NewMemo(inner)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int32) {
+			defer wg.Done()
+			for v := int32(0); v < int32(g.NumNodes()); v++ {
+				u := (v + seed) % int32(g.NumNodes())
+				w := (u + 1) % int32(g.NumNodes())
+				if memo.HasEdge(u, w) != inner.HasEdge(u, w) {
+					t.Errorf("HasEdge(%d,%d) mismatch", u, w)
+					return
+				}
+			}
+		}(int32(w * 37))
+	}
+	wg.Wait()
+}

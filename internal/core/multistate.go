@@ -1,0 +1,244 @@
+// Serializable multi-size run state: the MultiEstimator counterpart of
+// state.go. A multi-size run's complete position — per-walker RNG stream
+// position, walk position, shared state ring, and one accumulator per target
+// size — exports at any checkpoint barrier (MultiEstimator.Snapshot),
+// encodes to a compact versioned binary blob, and restores into a fresh
+// MultiEstimator (MultiEstimator.Restore) to continue the run with per-size
+// results byte-identical to an uninterrupted one, at any GOMAXPROCS.
+
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// MultiSizeAcc is one target size's private accumulator share within a
+// multi-size walker (the walker's slice of the merged per-size Result).
+type MultiSizeAcc struct {
+	// Done is the number of windows this size has accumulated (== its
+	// Result.Steps); at a checkpoint barrier every size's Done is equal.
+	Done         int
+	ValidSamples int
+	Weights      []float64
+	TypeCounts   []int64
+}
+
+// MultiWalkerState is the complete resumable state of one multi-size walker,
+// captured while the ensemble is quiescent at a checkpoint barrier.
+type MultiWalkerState struct {
+	// RNGPos is the walker's RNG stream position (walk.Rand.Pos); the seed is
+	// derived from (MultiConfig.Seed, walker index), so it is not stored.
+	RNGPos uint64
+	Seeded bool
+	Primed bool
+
+	// Walk position (meaningful when Seeded).
+	Steps   int64
+	HasPrev bool
+	Cur     []int32
+	Prev    []int32
+
+	// State ring in walk order, oldest first — the last min(steps+1, maxL)
+	// states (meaningful when Primed).
+	Win  [][]int32
+	Degs []int
+
+	// Accs holds one accumulator per target size, in MultiConfig.Sizes order.
+	Accs []MultiSizeAcc
+}
+
+// MultiEnsembleState is the serializable state of a whole multi-size run.
+type MultiEnsembleState struct {
+	// Config is the configuration the state was captured under; Restore
+	// refuses a mismatch (a resumed run must re-create the same trajectory).
+	Config MultiConfig
+	// WindowsDone is the ensemble-wide checkpoint target reached: windows
+	// processed per size, summed over walkers, when the snapshot was taken.
+	WindowsDone int
+	Walkers     []MultiWalkerState
+}
+
+// Binary layout mirrors EnsembleState's (state.go): magic, format version,
+// MultiConfig, WindowsDone, then each walker. Integers are varints (zigzag
+// for signed), float64s fixed 8-byte IEEE-754 bits, booleans packed into
+// flag bytes. Version-gated: a future format fails loudly.
+const (
+	multiStateMagic   = "GMST"
+	multiStateVersion = 1
+
+	// maxStateSizes caps the decoded size list; graphlet sizes live in 3..5,
+	// so anything past a small constant is corruption.
+	maxStateSizes = 16
+)
+
+// Encode renders the state as a versioned binary blob.
+func (st *MultiEnsembleState) Encode() []byte {
+	buf := make([]byte, 0, 256+len(st.Walkers)*512)
+	buf = append(buf, multiStateMagic...)
+	buf = binary.AppendUvarint(buf, multiStateVersion)
+
+	c := st.Config
+	buf = binary.AppendUvarint(buf, uint64(len(c.Sizes)))
+	for _, k := range c.Sizes {
+		buf = binary.AppendVarint(buf, int64(k))
+	}
+	buf = binary.AppendVarint(buf, int64(c.D))
+	buf = append(buf, packBools(c.CSS, c.NB))
+	buf = binary.AppendVarint(buf, int64(c.Walkers))
+	buf = binary.AppendVarint(buf, c.Seed)
+
+	buf = binary.AppendVarint(buf, int64(st.WindowsDone))
+	buf = binary.AppendUvarint(buf, uint64(len(st.Walkers)))
+	for i := range st.Walkers {
+		buf = st.Walkers[i].encode(buf)
+	}
+	return buf
+}
+
+func (w *MultiWalkerState) encode(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, w.RNGPos)
+	buf = append(buf, packBools(w.Seeded, w.Primed, w.HasPrev))
+	buf = binary.AppendVarint(buf, w.Steps)
+	buf = appendNodes(buf, w.Cur)
+	buf = appendNodes(buf, w.Prev)
+	buf = binary.AppendUvarint(buf, uint64(len(w.Win)))
+	for _, s := range w.Win {
+		buf = appendNodes(buf, s)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(w.Degs)))
+	for _, d := range w.Degs {
+		buf = binary.AppendVarint(buf, int64(d))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(w.Accs)))
+	for i := range w.Accs {
+		a := &w.Accs[i]
+		buf = binary.AppendVarint(buf, int64(a.Done))
+		buf = binary.AppendVarint(buf, int64(a.ValidSamples))
+		buf = binary.AppendUvarint(buf, uint64(len(a.Weights)))
+		for _, f := range a.Weights {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(a.TypeCounts)))
+		for _, n := range a.TypeCounts {
+			buf = binary.AppendVarint(buf, n)
+		}
+	}
+	return buf
+}
+
+// DecodeMultiEnsembleState parses a blob produced by Encode. Every length
+// and range is validated, so arbitrary (truncated, corrupt, adversarial)
+// input produces an error, never a panic or an absurd allocation.
+func DecodeMultiEnsembleState(data []byte) (*MultiEnsembleState, error) {
+	d := &stateDecoder{data: data}
+	if string(d.bytes(len(multiStateMagic))) != multiStateMagic {
+		return nil, fmt.Errorf("core: multi ensemble state: bad magic")
+	}
+	if v := d.uvarint(); d.err == nil && v != multiStateVersion {
+		return nil, fmt.Errorf("core: multi ensemble state: unsupported format version %d (have %d)", v, multiStateVersion)
+	}
+
+	st := &MultiEnsembleState{}
+	nSizes := d.uvarint()
+	if d.err == nil && (nSizes == 0 || nSizes > maxStateSizes) {
+		return nil, fmt.Errorf("core: multi ensemble state: %d sizes out of range", nSizes)
+	}
+	if d.err == nil {
+		st.Config.Sizes = make([]int, nSizes)
+		for i := range st.Config.Sizes {
+			st.Config.Sizes[i] = int(d.varint())
+		}
+	}
+	st.Config.D = int(d.varint())
+	var pad bool
+	st.Config.CSS, st.Config.NB, pad = d.unpackBools()
+	if d.err == nil && pad {
+		return nil, fmt.Errorf("core: multi ensemble state: unknown config flag")
+	}
+	st.Config.Walkers = int(d.varint())
+	st.Config.Seed = d.varint()
+
+	st.WindowsDone = int(d.varint())
+	n := d.uvarint()
+	if d.err == nil && n > maxStateWalkers {
+		return nil, fmt.Errorf("core: multi ensemble state: %d walkers exceeds cap", n)
+	}
+	if d.err == nil {
+		st.Walkers = make([]MultiWalkerState, n)
+		for i := range st.Walkers {
+			st.Walkers[i].decode(d)
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("core: multi ensemble state: %w", d.err)
+	}
+	if d.off != len(d.data) {
+		return nil, fmt.Errorf("core: multi ensemble state: %d trailing bytes", len(d.data)-d.off)
+	}
+	if st.WindowsDone < 0 {
+		return nil, fmt.Errorf("core: multi ensemble state: negative windows done %d", st.WindowsDone)
+	}
+	return st, nil
+}
+
+func (w *MultiWalkerState) decode(d *stateDecoder) {
+	w.RNGPos = d.uvarint()
+	w.Seeded, w.Primed, w.HasPrev = d.unpackBools()
+	w.Steps = d.varint()
+	w.Cur = d.nodes()
+	w.Prev = d.nodes()
+	nWin := d.uvarint()
+	if d.err == nil && nWin > maxStateWindow {
+		d.fail("ring length %d exceeds cap", nWin)
+	}
+	if d.err == nil && nWin > 0 {
+		w.Win = make([][]int32, nWin)
+		for i := range w.Win {
+			w.Win[i] = d.nodes()
+		}
+	}
+	nDeg := d.uvarint()
+	if d.err == nil && nDeg > maxStateWindow {
+		d.fail("degree list length %d exceeds cap", nDeg)
+	}
+	if d.err == nil && nDeg > 0 {
+		w.Degs = make([]int, nDeg)
+		for i := range w.Degs {
+			w.Degs[i] = int(d.varint())
+		}
+	}
+	nAcc := d.uvarint()
+	if d.err == nil && nAcc > maxStateSizes {
+		d.fail("accumulator count %d exceeds cap", nAcc)
+	}
+	if d.err == nil && nAcc > 0 {
+		w.Accs = make([]MultiSizeAcc, nAcc)
+		for i := range w.Accs {
+			a := &w.Accs[i]
+			a.Done = int(d.varint())
+			a.ValidSamples = int(d.varint())
+			nW := d.uvarint()
+			if d.err == nil && nW > maxStateTypes {
+				d.fail("weights length %d exceeds cap", nW)
+			}
+			if d.err == nil && nW > 0 {
+				a.Weights = make([]float64, nW)
+				for j := range a.Weights {
+					a.Weights[j] = d.float64()
+				}
+			}
+			nT := d.uvarint()
+			if d.err == nil && nT > maxStateTypes {
+				d.fail("type counts length %d exceeds cap", nT)
+			}
+			if d.err == nil && nT > 0 {
+				a.TypeCounts = make([]int64, nT)
+				for j := range a.TypeCounts {
+					a.TypeCounts[j] = d.varint()
+				}
+			}
+		}
+	}
+}

@@ -8,16 +8,24 @@ import (
 )
 
 // resultCache is an LRU cache of completed estimation results keyed by the
-// full Spec key. Caching whole results is sound because the engine is
+// comparable spec key. Caching whole results is sound because the engine is
 // deterministic: equal Config and Seed produce byte-identical merged
 // Results at any GOMAXPROCS, so a cached entry is indistinguishable from a
 // re-run. Partial (cancelled/failed) results are never cached.
 //
-// Each entry remembers the job that produced it (its owner). Journal
-// compaction consults the owner set so a result's on-disk record survives
-// for as long as its cache entry does — even after the producing job is
-// pruned from the bounded job table — which is what keeps the cache warm
-// across restarts.
+// Every entry is a single-size result. A multi-size job fans out into one
+// entry per size at settle (the shared-walk per-size results are
+// byte-identical to independent single-size runs, so the entries are
+// interchangeable with ones a single-size job would have produced), and a
+// multi-size submission is answered from the cache by reassembling all of
+// its per-size entries (Manager.multiCacheGetLocked).
+//
+// Each entry remembers the job that produced it (its owner) — a multi-size
+// job owns several entries at once, so the owner index is a live-entry
+// count. Journal compaction consults the owner set so a result's on-disk
+// record survives for as long as any of its cache entries does — even after
+// the producing job is pruned from the bounded job table — which is what
+// keeps the cache warm across restarts.
 //
 // The cache is not internally locked; the Manager serializes access under
 // its own mutex, which also keeps cache lookups atomic with the in-flight
@@ -25,13 +33,13 @@ import (
 type resultCache struct {
 	cap       int
 	ll        *list.List // front = most recently used
-	items     map[Spec]*list.Element
-	owners    map[string]*list.Element // producing job ID -> its live entry
-	evictions *obs.Counter             // capacity evictions (not dropGraph purges)
+	items     map[specKey]*list.Element
+	owners    map[string]int // producing job ID -> its live entry count
+	evictions *obs.Counter   // capacity evictions (not dropGraph purges)
 }
 
 type cacheEntry struct {
-	spec  Spec
+	key   specKey
 	res   *core.Result
 	owner string
 }
@@ -40,15 +48,15 @@ func newResultCache(capacity int, evictions *obs.Counter) *resultCache {
 	return &resultCache{
 		cap:       capacity,
 		ll:        list.New(),
-		items:     make(map[Spec]*list.Element),
-		owners:    make(map[string]*list.Element),
+		items:     make(map[specKey]*list.Element),
+		owners:    make(map[string]int),
 		evictions: evictions,
 	}
 }
 
-// get returns the cached result for spec, refreshing its recency.
-func (c *resultCache) get(spec Spec) (*core.Result, bool) {
-	el, ok := c.items[spec]
+// get returns the cached result for the spec key, refreshing its recency.
+func (c *resultCache) get(key specKey) (*core.Result, bool) {
+	el, ok := c.items[key]
 	if !ok {
 		return nil, false
 	}
@@ -56,26 +64,26 @@ func (c *resultCache) get(spec Spec) (*core.Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
-// put inserts (or refreshes) spec's result as produced by job owner,
+// put inserts (or refreshes) the key's result as produced by job owner,
 // evicting the least recently used entry when over capacity.
-func (c *resultCache) put(spec Spec, res *core.Result, owner string) {
+func (c *resultCache) put(key specKey, res *core.Result, owner string) {
 	if c.cap <= 0 {
 		return
 	}
-	if el, ok := c.items[spec]; ok {
+	if el, ok := c.items[key]; ok {
 		entry := el.Value.(*cacheEntry)
-		delete(c.owners, entry.owner)
+		c.releaseOwner(entry.owner)
 		entry.res, entry.owner = res, owner
 		if owner != "" {
-			c.owners[owner] = el
+			c.owners[owner]++
 		}
 		c.ll.MoveToFront(el)
 		return
 	}
-	el := c.ll.PushFront(&cacheEntry{spec: spec, res: res, owner: owner})
-	c.items[spec] = el
+	el := c.ll.PushFront(&cacheEntry{key: key, res: res, owner: owner})
+	c.items[key] = el
 	if owner != "" {
-		c.owners[owner] = el
+		c.owners[owner]++
 	}
 	for c.ll.Len() > c.cap {
 		c.removeElement(c.ll.Back())
@@ -83,10 +91,19 @@ func (c *resultCache) put(spec Spec, res *core.Result, owner string) {
 	}
 }
 
-// ownsJob reports whether the job's result still backs a live cache entry.
+// releaseOwner drops one live-entry reference from the job's owner count.
+func (c *resultCache) releaseOwner(jobID string) {
+	if jobID == "" {
+		return
+	}
+	if c.owners[jobID]--; c.owners[jobID] <= 0 {
+		delete(c.owners, jobID)
+	}
+}
+
+// ownsJob reports whether the job's results still back any live cache entry.
 func (c *resultCache) ownsJob(jobID string) bool {
-	_, ok := c.owners[jobID]
-	return ok
+	return c.owners[jobID] > 0
 }
 
 // ownerSet snapshots the producing-job IDs of all live entries (the async
@@ -108,7 +125,7 @@ func (c *resultCache) dropGraph(name string) int {
 	var next *list.Element
 	for el := c.ll.Front(); el != nil; el = next {
 		next = el.Next()
-		if el.Value.(*cacheEntry).spec.Graph == name {
+		if el.Value.(*cacheEntry).key.graph == name {
 			c.removeElement(el)
 			purged++
 		}
@@ -119,8 +136,8 @@ func (c *resultCache) dropGraph(name string) int {
 func (c *resultCache) removeElement(el *list.Element) {
 	entry := el.Value.(*cacheEntry)
 	c.ll.Remove(el)
-	delete(c.items, entry.spec)
-	delete(c.owners, entry.owner)
+	delete(c.items, entry.key)
+	c.releaseOwner(entry.owner)
 }
 
 func (c *resultCache) len() int { return c.ll.Len() }

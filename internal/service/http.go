@@ -19,7 +19,11 @@ import (
 //	                                 results; queued jobs against it fail
 //	                                 cleanly at dispatch
 //	POST   /v1/jobs               -> submit a Spec (optional "priority":
-//	                                 interactive|batch|background); 202 +
+//	                                 interactive|batch|background; "sizes":
+//	                                 [3,4,5] instead of "k" runs one shared
+//	                                 walk covering every listed size, paying
+//	                                 the step budget once and fan-out-filling
+//	                                 the result cache per size); 202 +
 //	                                 JobView (200 when a cache hit answers it
 //	                                 instantly)
 //	GET    /v1/jobs               -> all jobs in submission order

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -16,20 +19,27 @@ import (
 	"repro/internal/stats"
 )
 
-// Spec is a complete, comparable description of one estimation request.
-// Stripped of its Priority (see key), it doubles as the result-cache and
+// Spec is a complete description of one estimation request. Projected onto
+// its comparable key (see key), it doubles as the result-cache and
 // coalescing key: two submissions with equal keys are answered by one run,
 // which is exact (not approximate) because the engine is deterministic in
 // (Config, Seed).
 type Spec struct {
-	Graph   string `json:"graph"`
-	K       int    `json:"k"`
-	D       int    `json:"d"`
-	CSS     bool   `json:"css"`
-	NB      bool   `json:"nb"`
-	Steps   int    `json:"steps"`
-	Walkers int    `json:"walkers"`
-	Seed    int64  `json:"seed"`
+	Graph string `json:"graph"`
+	K     int    `json:"k"`
+	// Sizes requests a multi-size job: one shared walk whose step budget is
+	// paid once, yielding one estimate per listed size (each in the server's
+	// allowlist, sorted and deduplicated at admission). Mutually exclusive
+	// with K. On completion the result cache is fan-out-filled with one
+	// entry per size, so later single-size requests for any covered k are
+	// warm hits.
+	Sizes   []int `json:"sizes,omitempty"`
+	D       int   `json:"d"`
+	CSS     bool  `json:"css"`
+	NB      bool  `json:"nb"`
+	Steps   int   `json:"steps"`
+	Walkers int   `json:"walkers"`
+	Seed    int64 `json:"seed"`
 	// Priority selects the scheduling class ("interactive", "batch" or
 	// "background"; empty means batch). It deliberately does not affect the
 	// result — only when it is computed — so it is excluded from the cache
@@ -37,21 +47,73 @@ type Spec struct {
 	Priority Priority `json:"priority,omitempty"`
 }
 
-// key strips the scheduling class, leaving exactly the fields that
-// determine the result bytes. All cache and single-flight lookups go
-// through it, so an interactive re-ask of a background job's spec is a
-// cache hit, not a second run.
-func (s Spec) key() Spec {
-	s.Priority = ""
-	return s
+// specKey is the comparable projection of a Spec: the scheduling class is
+// stripped and the size list is canonicalized to a string, leaving exactly
+// the fields that determine the result bytes. All cache and single-flight
+// lookups go through it, so an interactive re-ask of a background job's
+// spec is a cache hit, not a second run.
+type specKey struct {
+	graph   string
+	k       int
+	sizes   string // canonical "3,4,5" for multi-size specs, "" otherwise
+	d       int
+	css     bool
+	nb      bool
+	steps   int
+	walkers int
+	seed    int64
 }
 
-// config maps the spec onto the engine configuration.
+// key projects the spec onto its comparable cache/coalescing key.
+func (s Spec) key() specKey {
+	return specKey{
+		graph: s.Graph, k: s.K, sizes: sizesKey(s.Sizes),
+		d: s.D, css: s.CSS, nb: s.NB,
+		steps: s.Steps, walkers: s.Walkers, seed: s.Seed,
+	}
+}
+
+// sizesKey canonicalizes a (already sorted, deduplicated) size list.
+func sizesKey(sizes []int) string {
+	if len(sizes) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, k := range sizes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(k))
+	}
+	return b.String()
+}
+
+// multi reports whether the spec requests a shared-walk multi-size job.
+func (s Spec) multi() bool { return len(s.Sizes) > 0 }
+
+// config maps a single-size spec onto the engine configuration.
 func (s Spec) config() core.Config {
 	return core.Config{
 		K: s.K, D: s.D, CSS: s.CSS, NB: s.NB,
 		Walkers: s.Walkers, Seed: s.Seed,
 	}
+}
+
+// multiConfig maps a multi-size spec onto the joint-estimator configuration.
+func (s Spec) multiConfig() core.MultiConfig {
+	return core.MultiConfig{
+		Sizes: s.Sizes, D: s.D, CSS: s.CSS, NB: s.NB,
+		Walkers: s.Walkers, Seed: s.Seed,
+	}
+}
+
+// sizeSpec is the single-size spec this multi-size spec covers for size k —
+// the cache key its fan-out entry lives under. Sound because the engine's
+// shared-walk per-size results are byte-identical to independent
+// single-size runs of the same (Config, Seed).
+func (s Spec) sizeSpec(k int) Spec {
+	s.K, s.Sizes = k, nil
+	return s
 }
 
 // State is a job's lifecycle phase.
@@ -76,6 +138,9 @@ type Progress struct {
 	Steps         int       `json:"steps"`
 	Total         int       `json:"total"`
 	Concentration []float64 `json:"concentration,omitempty"`
+	// Concentrations is the multi-size counterpart of Concentration: one
+	// live concentration vector per requested size, keyed by k.
+	Concentrations map[int][]float64 `json:"concentrations,omitempty"`
 	// ResumedSteps is the number of pre-crash steps this job kept by
 	// restoring a journaled checkpoint snapshot instead of restarting from
 	// step 0 (0 for jobs that never crashed — or whose snapshot could not be
@@ -92,7 +157,10 @@ type job struct {
 	state     State
 	progress  Progress
 	result    *core.Result
-	errMsg    string
+	// multiResult holds a multi-size job's per-size results (result stays
+	// nil); exactly one of the two is set on a completed job.
+	multiResult *core.MultiResult
+	errMsg      string
 	cached    bool
 	coalesced int // number of submissions answered by this run
 	created   time.Time
@@ -118,10 +186,13 @@ type JobView struct {
 	// every poll response and SSE event for the job, so one grep over the
 	// access logs follows a request end to end.
 	RequestID string     `json:"request_id,omitempty"`
-	State     State      `json:"state"`
-	Progress  Progress   `json:"progress"`
-	Result    *JobResult `json:"result,omitempty"`
-	Error     string     `json:"error,omitempty"`
+	State    State      `json:"state"`
+	Progress Progress   `json:"progress"`
+	Result   *JobResult `json:"result,omitempty"`
+	// Results renders a completed multi-size job: one JobResult per
+	// requested size, keyed by k (Result stays empty for those jobs).
+	Results map[int]*JobResult `json:"results,omitempty"`
+	Error   string             `json:"error,omitempty"`
 	// Cached marks a job answered from the result cache without a run.
 	Cached bool `json:"cached"`
 	// Coalesced counts submissions sharing this run (1 = no sharing).
@@ -158,7 +229,10 @@ type JobResult struct {
 // GET /metrics, so the JSON and Prometheus views can never disagree.
 type Stats struct {
 	Jobs        int `json:"jobs"`
-	Runs        int `json:"runs"`         // estimations actually executed
+	Runs        int `json:"runs"` // estimations actually executed
+	// MultiRuns counts the subset of Runs that were shared-walk multi-size
+	// ensembles (each paying one step budget for several sizes).
+	MultiRuns   int `json:"multi_runs,omitempty"`
 	CacheHits   int `json:"cache_hits"`   // submissions answered from the LRU
 	CacheSize   int `json:"cache_size"`   // entries currently cached
 	Coalesced   int `json:"coalesced"`    // submissions merged into an in-flight run
@@ -200,6 +274,11 @@ type Options struct {
 	// MaxWalkers caps Spec.Walkers (and feeds the default pool sizing).
 	// 0 means 8.
 	MaxWalkers int
+	// MultiSizes is the admission allowlist for multi-size jobs: every entry
+	// of Spec.Sizes must appear in it. nil means 3, 4, 5 (every size the
+	// engine supports); an explicit empty-but-non-nil slice disables
+	// multi-size submissions entirely.
+	MultiSizes []int
 	// CacheSize is the LRU capacity in results. 0 means 256; negative
 	// disables caching.
 	CacheSize int
@@ -250,6 +329,9 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = stats.PoolWorkers(o.MaxWalkers)
 	}
+	if o.MultiSizes == nil {
+		o.MultiSizes = []int{3, 4, 5}
+	}
 	if o.CacheSize == 0 {
 		o.CacheSize = 256
 	}
@@ -286,7 +368,7 @@ type Manager struct {
 	mu        sync.Mutex
 	jobs      map[string]*job
 	order     []string      // submission order, for List
-	inflight  map[Spec]*job // non-terminal job per spec key (single flight)
+	inflight  map[specKey]*job // non-terminal job per spec key (single flight)
 	cache     *resultCache
 	jnl       *journal.Log
 	sched     *scheduler
@@ -314,7 +396,7 @@ func NewManager(reg *Registry, opts Options) (*Manager, error) {
 		opts:     opts,
 		met:      met,
 		jobs:     make(map[string]*job),
-		inflight: make(map[Spec]*job),
+		inflight: make(map[specKey]*job),
 		cache:    newResultCache(opts.CacheSize, met.cacheEvictions),
 		sched:    newScheduler(opts.QueueCap, met.queueDepth),
 		waits:    make(map[Priority]*waitReservoir),
@@ -384,6 +466,17 @@ func (m *Manager) validate(spec Spec) error {
 	if spec.Walkers > m.opts.MaxWalkers {
 		return fmt.Errorf("service: walkers %d exceeds server cap %d", spec.Walkers, m.opts.MaxWalkers)
 	}
+	if spec.multi() {
+		if spec.K != 0 {
+			return fmt.Errorf("service: spec sets both k and sizes; they are mutually exclusive")
+		}
+		for _, k := range spec.Sizes {
+			if !slices.Contains(m.opts.MultiSizes, k) {
+				return fmt.Errorf("service: size %d is not in the server's allowed sizes %v", k, m.opts.MultiSizes)
+			}
+		}
+		return spec.multiConfig().Validate()
+	}
 	return spec.config().Validate()
 }
 
@@ -401,9 +494,21 @@ func (m *Manager) Submit(spec Spec) (JobView, error) {
 func (m *Manager) SubmitCtx(ctx context.Context, spec Spec) (JobView, error) {
 	// Normalize before keying: the engine treats Walkers 0 and 1 identically
 	// (one walker, unchanged seed stream), so they must hit the same cache
-	// and single-flight entries; likewise the empty priority is batch.
+	// and single-flight entries; likewise the empty priority is batch. The
+	// size list is order-insensitive and a one-size multi job is the same
+	// run as the plain single-size job (the shared-walk per-size results are
+	// byte-identical to independent runs), so both collapse to canonical
+	// forms that share cache and coalescing entries.
 	if spec.Walkers == 0 {
 		spec.Walkers = 1
+	}
+	if spec.multi() {
+		spec.Sizes = slices.Compact(slices.Sorted(slices.Values(spec.Sizes)))
+		// The collapse is gated on K == 0 so a spec illegally setting both
+		// fields still reaches validate intact and is rejected there.
+		if len(spec.Sizes) == 1 && spec.K == 0 {
+			spec.K, spec.Sizes = spec.Sizes[0], nil
+		}
 	}
 	p, err := ParsePriority(string(spec.Priority))
 	if err != nil {
@@ -421,13 +526,16 @@ func (m *Manager) SubmitCtx(ctx context.Context, spec Spec) (JobView, error) {
 	key := spec.key()
 	m.met.jobs.With("submitted").Inc()
 	// Cache hit: a completed identical run answers instantly via a fresh
-	// (already terminal) job record.
-	if res, ok := m.cache.get(key); ok {
+	// (already terminal) job record. A multi-size submission hits when every
+	// one of its per-size entries is warm — its own earlier fan-out, or any
+	// equivalent single-size runs — and is reassembled from them.
+	if res, multiRes, ok := m.cacheGetLocked(spec, key); ok {
 		m.met.cacheHits.Inc()
 		j := m.newJobLocked(spec)
 		j.traceID = obs.RequestIDFrom(ctx)
 		j.cached = true
 		j.coalesced = 1
+		j.multiResult = multiRes
 		m.journalAppendLocked(journal.TypeSubmitted, j.id,
 			recSubmitted{Spec: spec, Cached: true, GraphMeta: m.graphMeta(spec.Graph), RequestID: j.traceID})
 		m.finishLocked(j, StateDone, res, nil)
@@ -465,6 +573,28 @@ func (m *Manager) SubmitCtx(ctx context.Context, spec Spec) (JobView, error) {
 	m.journalAppendLocked(journal.TypeSubmitted, j.id,
 		recSubmitted{Spec: spec, GraphMeta: m.graphMeta(spec.Graph), RequestID: j.traceID})
 	return j.view(), nil
+}
+
+// cacheGetLocked answers a submission from the result cache: a single-size
+// spec by direct lookup, a multi-size spec by reassembling all of its
+// per-size entries (every size must be warm; entries left by single-size
+// runs are interchangeable with fan-out entries because the shared-walk
+// per-size results are byte-identical to independent runs). Caller holds
+// m.mu.
+func (m *Manager) cacheGetLocked(spec Spec, key specKey) (*core.Result, *core.MultiResult, bool) {
+	if !spec.multi() {
+		res, ok := m.cache.get(key)
+		return res, nil, ok
+	}
+	results := make(map[int]*core.Result, len(spec.Sizes))
+	for _, k := range spec.Sizes {
+		res, ok := m.cache.get(spec.sizeSpec(k).key())
+		if !ok {
+			return nil, nil, false
+		}
+		results[k] = res
+	}
+	return nil, &core.MultiResult{Steps: results[spec.Sizes[0]].Steps, Results: results}, true
 }
 
 // graphMeta fingerprints the currently registered graph for the journal
@@ -507,6 +637,13 @@ func (m *Manager) finishLocked(j *job, state State, res *core.Result, err error)
 		j.result = res
 		j.progress.Steps = res.Steps
 		j.progress.Concentration = res.Concentration()
+	}
+	if j.multiResult != nil {
+		// Multi-size outcomes (including a cancelled run's partial result,
+		// which settleMulti stashed before calling here) report per-size
+		// concentrations.
+		j.progress.Steps = j.multiResult.Steps
+		j.progress.Concentrations = j.multiResult.Concentrations()
 	}
 	if err != nil {
 		j.errMsg = err.Error()
@@ -669,6 +806,10 @@ func (m *Manager) runJob(j *job) {
 		m.settle(j, nil, fmt.Errorf("service: graph %q was removed after this job was submitted", j.spec.Graph))
 		return
 	}
+	if j.spec.multi() {
+		m.runMulti(ctx, j, g, resumeSnap)
+		return
+	}
 	est, err := core.NewEstimator(m.opts.NewClient(g), j.spec.config())
 	if err != nil {
 		m.settle(j, nil, err)
@@ -748,6 +889,105 @@ func (m *Manager) runJob(j *job) {
 		m.met.walkSteps.Add(int64(res.Steps - lastSteps))
 	}
 	m.settle(j, res, err)
+}
+
+// runMulti executes a dispatched multi-size job: one shared-walk ensemble
+// whose step budget is paid once covers every requested size. Resume,
+// checkpointing and metrics mirror the single-size path, with the multi
+// codec (core.MultiEnsembleState) in place of the single one.
+func (m *Manager) runMulti(ctx context.Context, j *job, g *graph.Graph, resumeSnap []byte) {
+	m.met.multiRuns.Inc()
+	est, err := core.NewMultiEstimator(m.opts.NewClient(g), j.spec.multiConfig())
+	if err != nil {
+		m.settleMulti(j, nil, err)
+		return
+	}
+	// Restore a recovered checkpoint snapshot; any failure degrades to a
+	// from-scratch run, exactly like the single-size path — resume is an
+	// optimization and must never be able to fail a job.
+	resumed := 0
+	if len(resumeSnap) > 0 {
+		if st, derr := core.DecodeMultiEnsembleState(resumeSnap); derr == nil {
+			if rerr := est.Restore(st); rerr == nil {
+				resumed = st.WindowsDone
+			} else {
+				est, err = core.NewMultiEstimator(m.opts.NewClient(g), j.spec.multiConfig())
+				if err != nil {
+					m.settleMulti(j, nil, err)
+					return
+				}
+			}
+		}
+	}
+	m.mu.Lock()
+	j.progress.ResumedSteps = resumed
+	if resumed > 0 {
+		j.progress.Steps = resumed
+		m.met.walkResumed.Add(int64(resumed))
+	} else if len(resumeSnap) > 0 {
+		j.progress = Progress{Total: j.spec.Steps}
+	}
+	m.mu.Unlock()
+	lastSteps := resumed
+	res, err := func() (res *core.MultiResult, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("service: job %s: %v", j.id, r)
+			}
+		}()
+		return est.RunCheckpointsCtx(ctx, j.spec.Steps, m.snapshotEvery(j.spec.Steps),
+			func(step int, conc map[int][]float64) {
+				m.met.walkCheckpoints.Inc()
+				m.met.walkSteps.Add(int64(step - lastSteps))
+				lastSteps = step
+				var snap []byte
+				if m.jnl != nil {
+					snap = est.Snapshot().Encode()
+				}
+				m.mu.Lock()
+				j.progress.Steps = step
+				j.progress.Concentrations = conc
+				m.journalAppendLocked(journal.TypeCheckpoint, j.id,
+					recCheckpoint{V: checkpointV2, Steps: step, Concentrations: conc, Snapshot: snap})
+				m.notifySubsLocked(j, "checkpoint")
+				m.mu.Unlock()
+			})
+	}()
+	if res != nil {
+		m.met.walkSteps.Add(int64(res.Steps - lastSteps))
+	}
+	m.settleMulti(j, res, err)
+}
+
+// settleMulti records a multi-size run's outcome. A completed run fan-out
+// fills the result cache with one entry per size, keyed as the equivalent
+// single-size spec, so later single-size requests for any covered k — and
+// later identical multi-size requests, reassembled from the same entries —
+// are warm hits. A cancelled run keeps its partial per-size results but is
+// not cached.
+func (m *Manager) settleMulti(j *job, res *core.MultiResult, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.met.jobsActive.Dec()
+	delete(m.inflight, j.spec.key())
+	if res != nil {
+		j.multiResult = res
+	}
+	switch {
+	case err == nil:
+		for _, k := range j.spec.Sizes {
+			r := res.Results[k]
+			m.cache.put(j.spec.sizeSpec(k).key(), r, j.id)
+			label := strconv.Itoa(k)
+			m.met.multiResults.With(label).Inc()
+			m.met.multiSteps.With(label).Add(int64(r.Steps))
+		}
+		m.finishLocked(j, StateDone, nil, nil)
+	case errors.Is(err, context.Canceled):
+		m.finishLocked(j, StateCanceled, nil, err)
+	default:
+		m.finishLocked(j, StateFailed, nil, err)
+	}
 }
 
 // settle records a run's outcome: Done results populate the cache; a
@@ -849,6 +1089,7 @@ func (m *Manager) Stats() Stats {
 	st := Stats{
 		Jobs:          len(m.jobs),
 		Runs:          int(m.met.runs.Value()),
+		MultiRuns:     int(m.met.multiRuns.Value()),
 		CacheHits:     int(m.met.cacheHits.Value()),
 		CacheSize:     m.cache.len(),
 		Coalesced:     int(m.met.coalesced.Value()),
@@ -889,14 +1130,32 @@ func (j *job) view() JobView {
 	if conc := j.progress.Concentration; conc != nil {
 		v.Progress.Concentration = append([]float64(nil), conc...)
 	}
+	if concs := j.progress.Concentrations; concs != nil {
+		cp := make(map[int][]float64, len(concs))
+		for k, c := range concs {
+			cp[k] = append([]float64(nil), c...)
+		}
+		v.Progress.Concentrations = cp
+	}
 	if j.state == StateDone && j.result != nil {
-		v.Result = &JobResult{
-			Method:        j.result.Config.MethodName(),
-			Steps:         j.result.Steps,
-			ValidSamples:  j.result.ValidSamples,
-			Concentration: j.result.Concentration(),
-			Weights:       append([]float64(nil), j.result.Weights...),
+		v.Result = renderResult(j.result)
+	}
+	if j.state == StateDone && j.multiResult != nil {
+		v.Results = make(map[int]*JobResult, len(j.multiResult.Results))
+		for k, r := range j.multiResult.Results {
+			v.Results[k] = renderResult(r)
 		}
 	}
 	return v
+}
+
+// renderResult maps an engine result onto the client-facing form.
+func renderResult(r *core.Result) *JobResult {
+	return &JobResult{
+		Method:        r.Config.MethodName(),
+		Steps:         r.Steps,
+		ValidSamples:  r.ValidSamples,
+		Concentration: r.Concentration(),
+		Weights:       append([]float64(nil), r.Weights...),
+	}
 }

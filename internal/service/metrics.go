@@ -50,6 +50,13 @@ type serviceMetrics struct {
 	walkCheckpoints *obs.Counter
 	walkResumed     *obs.Counter
 
+	// Multi-size jobs: runs dispatched, and per-size sample windows and
+	// results credited at settle (each size of a shared walk covers the full
+	// window budget while the walk steps are paid once).
+	multiRuns    *obs.Counter
+	multiSteps   *obs.CounterVec // graphletd_multi_walk_steps_total{k}
+	multiResults *obs.CounterVec // graphletd_multi_results_total{k}
+
 	// Graph registry.
 	graphs *obs.GaugeVec // {source}
 
@@ -105,6 +112,12 @@ func newServiceMetrics(reg *obs.Registry, graphs *Registry) *serviceMetrics {
 			"Checkpoint barriers reached across all runs."),
 		walkResumed: reg.Counter("graphletd_walk_resumed_steps_total",
 			"Walk steps preserved by restoring checkpoint snapshots instead of re-running."),
+		multiRuns: reg.Counter("graphletd_multi_runs_total",
+			"Shared-walk multi-size ensembles executed (one step budget covering several sizes)."),
+		multiSteps: reg.CounterVec("graphletd_multi_walk_steps_total",
+			"Sample windows credited per size by completed multi-size runs.", "k"),
+		multiResults: reg.CounterVec("graphletd_multi_results_total",
+			"Per-size results produced by completed multi-size runs (cache fan-out entries).", "k"),
 		graphs: reg.GaugeVec("graphletd_graphs",
 			"Registered graphs by source (dataset, file, gcsr, inline).", "source"),
 	}

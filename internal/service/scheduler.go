@@ -116,7 +116,10 @@ func (s *scheduler) noteDepthLocked(p Priority) {
 // *remaining* steps: the pre-crash process already charged its class for
 // the steps the snapshot preserves, and re-charging them would make a class
 // with interrupted jobs pay double for one budget of work (the recovery
-// double-charge).
+// double-charge). A multi-size job is charged the same single budget: its
+// shared walk pays Spec.Steps once no matter how many sizes it covers —
+// that under-charge relative to the equivalent independent runs is exactly
+// the efficiency the shared walk buys.
 func jobCost(j *job) float64 {
 	cost := j.spec.Steps - j.resumeSteps
 	if cost <= 0 {

@@ -403,19 +403,19 @@ func TestResultCacheLRU(t *testing.T) {
 	c := newResultCache(2, nil)
 	spec := func(seed int64) Spec { return Spec{Graph: "g", K: 3, D: 1, Steps: 10, Seed: seed} }
 	res := func(steps int) *core.Result { return &core.Result{Steps: steps} }
-	c.put(spec(1), res(1), "j-1")
-	c.put(spec(2), res(2), "j-2")
-	if r, ok := c.get(spec(1)); !ok || r.Steps != 1 { // refresh 1; 2 becomes LRU
+	c.put(spec(1).key(), res(1), "j-1")
+	c.put(spec(2).key(), res(2), "j-2")
+	if r, ok := c.get(spec(1).key()); !ok || r.Steps != 1 { // refresh 1; 2 becomes LRU
 		t.Fatalf("spec 1: %v %v", r, ok)
 	}
-	c.put(spec(3), res(3), "j-3") // evicts 2
-	if _, ok := c.get(spec(2)); ok {
+	c.put(spec(3).key(), res(3), "j-3") // evicts 2
+	if _, ok := c.get(spec(2).key()); ok {
 		t.Error("spec 2 should have been evicted")
 	}
-	if _, ok := c.get(spec(1)); !ok {
+	if _, ok := c.get(spec(1).key()); !ok {
 		t.Error("spec 1 should have survived")
 	}
-	if _, ok := c.get(spec(3)); !ok {
+	if _, ok := c.get(spec(3).key()); !ok {
 		t.Error("spec 3 should be cached")
 	}
 	if c.len() != 2 {

@@ -69,16 +69,25 @@ type recCheckpoint struct {
 	V             int       `json:"v,omitempty"`
 	Steps         int       `json:"steps"`
 	Concentration []float64 `json:"concentration,omitempty"`
-	// Snapshot is core.EnsembleState.Encode() at this checkpoint barrier.
+	// Concentrations is the multi-size counterpart of Concentration: one
+	// vector per requested size, keyed by k.
+	Concentrations map[int][]float64 `json:"concentrations,omitempty"`
+	// Snapshot is core.EnsembleState.Encode() at this checkpoint barrier —
+	// or core.MultiEnsembleState.Encode() for a multi-size job (the codecs
+	// carry distinct magics, and the resume path decodes with the codec the
+	// job's spec calls for).
 	Snapshot []byte `json:"snapshot,omitempty"`
 }
 
 // checkpointV2 marks checkpoint payloads that carry a resume snapshot.
 const checkpointV2 = 2
 
-// recDone is the payload of a TypeDone record.
+// recDone is the payload of a TypeDone record. Exactly one of the two
+// fields is set: Result for single-size jobs, Results (keyed by size) for
+// multi-size jobs.
 type recDone struct {
-	Result *core.Result `json:"result,omitempty"`
+	Result  *core.Result         `json:"result,omitempty"`
+	Results map[int]*core.Result `json:"results,omitempty"`
 }
 
 // recFailed is the payload of TypeFailed and TypeCanceled records.
@@ -122,6 +131,9 @@ func (m *Manager) journalTerminalLocked(j *job) {
 		p := recDone{}
 		if !j.cached { // cache hits replay their result via the original run
 			p.Result = j.result
+			if j.multiResult != nil {
+				p.Results = j.multiResult.Results
+			}
 		}
 		m.journalAppendLocked(journal.TypeDone, j.id, p)
 	case StateFailed:
@@ -177,6 +189,7 @@ func (m *Manager) recover() error {
 			}
 			j.progress.Steps = p.Steps
 			j.progress.Concentration = p.Concentration
+			j.progress.Concentrations = p.Concentrations
 			// The latest snapshot wins: if this job turns out interrupted,
 			// the requeue below resumes it from here instead of step 0.
 			if len(p.Snapshot) > 0 {
@@ -191,6 +204,13 @@ func (m *Manager) recover() error {
 			j.state = StateDone
 			j.finished = time.Unix(0, rec.Time)
 			j.result = p.Result
+			if len(p.Results) > 0 {
+				steps := 0
+				for _, r := range p.Results {
+					steps = r.Steps // every size covers the same window count
+				}
+				j.multiResult = &core.MultiResult{Steps: steps, Results: p.Results}
+			}
 		case journal.TypeFailed, journal.TypeCanceled:
 			var p recFailed
 			if err := json.Unmarshal(rec.Payload, &p); err != nil {
@@ -235,20 +255,35 @@ func (m *Manager) recover() error {
 		}
 		switch {
 		case j.state == StateDone:
-			if j.result != nil {
+			switch {
+			case j.multiResult != nil:
+				// A completed multi-size run re-warms its per-size fan-out
+				// entries, all owned by this job.
+				if sameBind(id, j.spec.Graph) {
+					for _, k := range j.spec.Sizes {
+						if r := j.multiResult.Results[k]; r != nil {
+							m.cache.put(j.spec.sizeSpec(k).key(), r, j.id)
+						}
+					}
+					m.met.warmed.Inc()
+				}
+				j.progress.Steps = j.multiResult.Steps
+				j.progress.Concentrations = j.multiResult.Concentrations()
+			case j.result != nil:
 				if sameBind(id, j.spec.Graph) {
 					m.cache.put(j.spec.key(), j.result, j.id)
 					m.met.warmed.Inc()
 				}
 				j.progress.Steps = j.result.Steps
 				j.progress.Concentration = j.result.Concentration()
-			} else if j.cached {
+			case j.cached:
 				// A cache-hit job: its result lives with the originating run,
 				// replayed (and cached) earlier in the log — unless the LRU
 				// has since evicted it, in which case the view simply omits
-				// the result body.
-				if res, ok := m.cache.get(j.spec.key()); ok {
-					j.result = res
+				// the result body. A multi-size hit reassembles from the
+				// per-size entries, as at submit time.
+				if res, multiRes, ok := m.cacheGetLocked(j.spec, j.spec.key()); ok {
+					j.result, j.multiResult = res, multiRes
 				}
 			}
 			close(j.done)

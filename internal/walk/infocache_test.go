@@ -1,0 +1,201 @@
+package walk
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/gen"
+)
+
+func testState(i int32) State {
+	return StateOf(i, i+1_000_000, i+2_000_000)
+}
+
+func testInfo(i int32) stateInfo {
+	return stateInfo{deg: i}
+}
+
+// Clock fundamentals: capacity is respected, and entries that keep getting
+// hit survive an arbitrary amount of cold traffic (the property the old
+// clear-on-overflow policy lacked).
+func TestInfoCacheClockEviction(t *testing.T) {
+	c := newInfoCache()
+	for i := int32(0); i < infoCacheCap; i++ {
+		c.put(testState(i), testInfo(i))
+	}
+	if c.len() != infoCacheCap {
+		t.Fatalf("len = %d, want %d", c.len(), infoCacheCap)
+	}
+	const hot = 32
+	// Stream 10 full capacities of cold states past the cache, re-touching
+	// the hot set between every insertion (and, like the kernel, re-putting
+	// on a miss). Second chance allows a bounded number of early hot
+	// evictions — the first overflow mass-clears every ref bit — but once
+	// the hand has lapped, constantly-touched entries are always spared.
+	// Clear-on-overflow missed the whole hot set on every overflow (~320
+	// misses in this trace).
+	hotMisses := 0
+	for i := int32(infoCacheCap); i < 11*infoCacheCap; i++ {
+		for h := int32(0); h < hot; h++ {
+			if _, ok := c.get(testState(h)); !ok {
+				hotMisses++
+				c.put(testState(h), testInfo(h))
+			}
+		}
+		if _, ok := c.get(testState(i)); ok {
+			t.Fatalf("cold state %d already present", i)
+		}
+		c.put(testState(i), testInfo(i))
+	}
+	if hotMisses > 2*hot {
+		t.Errorf("hot set missed %d times across churn, want <= %d (hot states did not survive overflow)",
+			hotMisses, 2*hot)
+	}
+	if c.len() != infoCacheCap {
+		t.Fatalf("len after churn = %d, want %d", c.len(), infoCacheCap)
+	}
+	// Un-touched entries must actually have been evicted.
+	evicted := 0
+	for i := int32(hot); i < infoCacheCap; i++ {
+		if _, ok := c.get(testState(i)); !ok {
+			evicted++
+		}
+	}
+	if evicted == 0 {
+		t.Error("no cold entry was ever evicted")
+	}
+	hits, misses := c.stats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("stats = %d hits / %d misses, want both nonzero", hits, misses)
+	}
+}
+
+// A cached value round-trips, and re-putting after eviction re-caches it.
+func TestInfoCacheRoundTrip(t *testing.T) {
+	c := newInfoCache()
+	c.put(testState(7), testInfo(7))
+	fi, ok := c.get(testState(7))
+	if !ok || fi.deg != 7 {
+		t.Fatalf("get = %+v, %v", fi, ok)
+	}
+	if _, ok := c.get(testState(8)); ok {
+		t.Fatal("phantom entry")
+	}
+}
+
+// The steady-state churn path — lookups plus evicting inserts at capacity —
+// allocates nothing, preserving the walk kernel's zero-alloc warm step even
+// when more than infoCacheCap states are live.
+func TestInfoCacheChurnZeroAllocs(t *testing.T) {
+	c := newInfoCache()
+	for i := int32(0); i < infoCacheCap; i++ {
+		c.put(testState(i), testInfo(i))
+	}
+	next := int32(infoCacheCap)
+	allocs := testing.AllocsPerRun(20000, func() {
+		for h := int32(0); h < 8; h++ {
+			c.get(testState(h))
+		}
+		if _, ok := c.get(testState(next)); !ok {
+			c.put(testState(next), testInfo(next))
+		}
+		next++
+	})
+	if allocs != 0 {
+		t.Errorf("churn allocates %.2f objects per op, want 0", allocs)
+	}
+}
+
+// skewedTrace builds the access pattern of a walk with >infoCacheCap live
+// states: a small hot set (the sliding window and its surroundings, touched
+// constantly) interleaved with a long cold tail of drive-by states.
+func skewedTrace(sp *spaceD, nLive int) (hot, cold []State) {
+	rng := rand.New(rand.NewSource(99))
+	seen := map[State]bool{}
+	var states []State
+	for len(states) < nLive {
+		st := sp.RandomState(rng)
+		if !seen[st] {
+			seen[st] = true
+			states = append(states, st)
+		}
+	}
+	return states[:32], states[32:]
+}
+
+// With more live states than the cache holds, the hot set must still hit:
+// this is the regression test for clear-on-overflow, under which every
+// overflow wiped the hot set and its hit rate cratered.
+func TestHotStatesSurviveOverflow(t *testing.T) {
+	g := gen.BarabasiAlbert(3000, 5, 42)
+	client := access.NewGraphClient(g)
+	sp := NewSpace(client, 3).(*spaceD)
+	hot, cold := skewedTrace(sp, 32+2*infoCacheCap) // 544 live states, cap 256
+
+	// Warm every state once, hot set last.
+	for _, st := range cold {
+		sp.StateDegree(st)
+	}
+	for _, st := range hot {
+		sp.StateDegree(st)
+	}
+
+	// Walk-like skew: each round touches the whole hot set, then a few cold
+	// states. The cold tail alone overflows the cache several times per
+	// sweep.
+	startHits, _ := sp.info.stats()
+	hotLookups := 0
+	ci := 0
+	for round := 0; round < 40; round++ {
+		for _, st := range hot {
+			sp.StateDegree(st)
+			hotLookups++
+		}
+		for j := 0; j < 16; j++ {
+			sp.StateDegree(cold[ci%len(cold)])
+			ci++
+		}
+	}
+	hits, _ := sp.info.stats()
+	// Hot lookups alone must account for nearly all hits; cold lookups churn.
+	hotRate := float64(hits-startHits) / float64(hotLookups)
+	if hotRate < 0.95 {
+		t.Errorf("hot-set hit coverage %.3f, want >= 0.95 (hot states did not survive overflow)", hotRate)
+	}
+}
+
+// BenchmarkStateDegreeSkewedOverflow measures the warm-step path under a
+// skewed access pattern with ~2x more live states than the cache holds. The
+// reported hit/op is the cache hit rate of the mixed trace: with clock
+// eviction the hot set stays resident (rate ≈ hot fraction of accesses);
+// under the old clear-on-overflow it collapsed toward zero. Allocations per
+// op must stay 0 (run with -benchmem).
+func BenchmarkStateDegreeSkewedOverflow(b *testing.B) {
+	g := gen.BarabasiAlbert(3000, 5, 42)
+	client := access.NewGraphClient(g)
+	sp := NewSpace(client, 3).(*spaceD)
+	hot, cold := skewedTrace(sp, 32+2*infoCacheCap)
+
+	// One trace element is one StateDegree call; 2 hot per 1 cold.
+	trace := make([]State, 0, 3*len(cold))
+	ci := 0
+	for len(trace) < cap(trace) {
+		trace = append(trace, hot[ci%len(hot)], hot[(ci+7)%len(hot)], cold[ci%len(cold)])
+		ci++
+	}
+	for _, st := range trace {
+		sp.StateDegree(st) // warm
+	}
+	h0, m0 := sp.info.stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.StateDegree(trace[i%len(trace)])
+	}
+	b.StopTimer()
+	h1, m1 := sp.info.stats()
+	if total := float64((h1 - h0) + (m1 - m0)); total > 0 {
+		b.ReportMetric(float64(h1-h0)/total, "hit/op")
+	}
+}

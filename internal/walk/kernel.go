@@ -50,14 +50,15 @@ type stateInfo struct {
 
 // infoCacheCap bounds the stateInfo cache. Entries are ~50 bytes, and the
 // walk only re-queries states inside the current window plus CSS chain
-// states, so a few hundred entries make recomputation rare; on overflow the
-// map is cleared in place (buckets are retained, so steady-state inserts
-// never allocate).
+// states, so a few hundred entries make recomputation rare; past capacity
+// the cache evicts by second chance (see infoCache), so states the walk
+// keeps touching survive overflow while drive-by states recycle, and
+// steady-state inserts never allocate.
 const infoCacheCap = 256
 
 // infoOf returns (computing and caching if needed) the kernel record of st.
 func (s *spaceD) infoOf(st State) stateInfo {
-	if fi, ok := s.info[st]; ok {
+	if fi, ok := s.info.get(st); ok {
 		return fi
 	}
 	var fi stateInfo
@@ -82,10 +83,7 @@ func (s *spaceD) infoOf(st State) stateInfo {
 			fi.deg += fi.cnt[xi]
 		}
 	}
-	if len(s.info) >= infoCacheCap {
-		clear(s.info)
-	}
-	s.info[st] = fi
+	s.info.put(st, fi)
 	return fi
 }
 

@@ -163,17 +163,18 @@ func (s *space2) RandomNeighborAvoiding(st, prev State, rng *rand.Rand) State {
 // the merge's membership bitmask, and transitions never materialize neighbor
 // lists — a counting scan yields the degree and a partial scan of one
 // dropped-node group yields the uniformly drawn neighbor. The per-state
-// kernel records are cached in a bounded map (see infoCacheCap).
+// kernel records are cached in a bounded clock-evicting cache (see
+// infoCacheCap and infoCache).
 type spaceD struct {
 	c    access.Client
 	cc   access.CommonCounter // non-nil iff c's access is free (see access.CommonCounter)
 	d    int
-	info map[State]stateInfo
+	info infoCache
 }
 
 func newSpaceD(c access.Client, d int) *spaceD {
 	cc, _ := c.(access.CommonCounter)
-	return &spaceD{c: c, cc: cc, d: d, info: make(map[State]stateInfo, 16)}
+	return &spaceD{c: c, cc: cc, d: d, info: newInfoCache()}
 }
 
 func (s *spaceD) D() int { return s.d }
