@@ -51,6 +51,22 @@
 // resume all work for multi-size jobs, with per-size results byte-identical
 // to independent runs.
 //
+// Distributed execution: -worker makes this node accept partition work at
+// POST /v1/partitions, and -peers gives a coordinator its fleet. A job
+// submitted with "nodes": N > 1 has its walker ensemble split into
+// contiguous partitions fanned across the peers; per-walker seeds and
+// quotas are derived from global walker indices, so the merged result is
+// byte-identical to a local run at any fleet size. Dead workers fail over
+// (retry on a rotated peer from the last streamed snapshot, then locally),
+// and with -data-dir the coordinator journals every fleet-wide checkpoint,
+// so even a coordinator crash resumes mid-budget — with no peers at all if
+// need be.
+//
+//	graphletd -datasets epinion -addr 127.0.0.1:9091 -worker   # worker node
+//	graphletd -datasets epinion -peers http://127.0.0.1:9091,http://127.0.0.1:9092
+//	curl -s -X POST localhost:9090/v1/jobs -d \
+//	  '{"graph":"epinion","k":4,"d":2,"css":true,"steps":20000,"walkers":4,"seed":1,"nodes":2}'
+//
 // Submit and poll with curl:
 //
 //	curl -s -X POST localhost:9090/v1/jobs -d \
@@ -78,6 +94,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/apiserver"
+	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/service"
@@ -97,9 +114,11 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "durability directory: journal job history here, replay it on start (empty = volatile)")
 		fsync      = flag.Bool("fsync", false, "fsync every journal append (with -data-dir)")
 		pprofAddr  = flag.String("pprof", "", "expose net/http/pprof on this side listener (e.g. 127.0.0.1:6060; empty = off)")
-		qps        = flag.Float64("qps", 0, "rate-limit API requests to this sustained QPS (0 = unlimited; /metrics and health probes are never throttled)")
+		qps        = flag.Float64("qps", 0, "rate-limit API requests to this sustained QPS (0 = unlimited; /metrics, health probes and partition streams are never throttled)")
 		burst      = flag.Int("burst", 16, "rate-limit burst allowance (with -qps)")
 		accessLog  = flag.Bool("access-log", true, "log one structured line per request to stderr")
+		peersFlag  = flag.String("peers", "", "comma-separated worker base URLs for distributed jobs (e.g. http://10.0.0.2:9090)")
+		worker     = flag.Bool("worker", false, "accept partition work from coordinators at POST /v1/partitions")
 	)
 	flag.Var(&graphFlags, "graph", "name=path graph to register, edge list or .gcsr (repeatable)")
 	flag.Parse()
@@ -167,6 +186,14 @@ func main() {
 			multiSizes = append(multiSizes, n)
 		}
 	}
+	var peers []string
+	if *peersFlag != "" {
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, strings.TrimSuffix(p, "/"))
+			}
+		}
+	}
 	opts := service.Options{
 		Workers:       *workers,
 		MaxWalkers:    *maxWalkers,
@@ -176,6 +203,7 @@ func main() {
 		DataDir:       *dataDir,
 		Fsync:         *fsync,
 		Metrics:       metrics,
+		Peers:         peers,
 	}
 	if *latency > 0 {
 		opts.NewClient = func(g *graph.Graph) access.Client {
@@ -207,6 +235,16 @@ func main() {
 	// not block the scrape or the probes that would diagnose it.
 	api := service.NewServer(reg, mgr)
 	api.Health = health
+	if *worker {
+		// Partition work resolves graphs through the same registry and access
+		// stack (including -latency crawl modeling) local jobs use, so a
+		// distributed run costs each walker exactly what a local run would.
+		api.Partitions = &dist.Handler{
+			Lookup: mgr.PartitionLookup(),
+			Served: metrics.CounterVec("graphletd_partitions_served_total",
+				"Partition requests served by this worker, by outcome.", "state"),
+		}
+	}
 	var handler http.Handler = api
 	if *qps > 0 {
 		rejected := metrics.Counter("graphletd_ratelimit_rejected_total",
@@ -214,7 +252,9 @@ func main() {
 		limited := apiserver.RateLimitObserved(api, *qps, *burst, rejected.Inc)
 		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			switch strings.TrimSuffix(r.URL.Path, "/") {
-			case "/metrics", "/healthz", "/readyz":
+			// Partition streams are fleet-internal and hour-long-lived; the
+			// public-API token bucket must not starve the fleet.
+			case "/metrics", "/healthz", "/readyz", "/v1/partitions":
 				api.ServeHTTP(w, r)
 			default:
 				limited.ServeHTTP(w, r)
@@ -236,7 +276,13 @@ func main() {
 			info.Name, info.Nodes, info.Edges, info.MaxDegree, info.Source)
 	}
 	if *qps > 0 {
-		fmt.Printf("  rate limit %.1f qps (burst %d); /metrics and probes unthrottled\n", *qps, *burst)
+		fmt.Printf("  rate limit %.1f qps (burst %d); /metrics, probes and partition streams unthrottled\n", *qps, *burst)
+	}
+	if *worker {
+		fmt.Println("  worker mode: accepting partition work at POST /v1/partitions")
+	}
+	if len(peers) > 0 {
+		fmt.Printf("  fleet: %d peer(s) for distributed jobs (%s)\n", len(peers), strings.Join(peers, ", "))
 	}
 	fmt.Printf("listening on http://%s (metrics on /metrics, probes on /healthz /readyz)\n", *addr)
 

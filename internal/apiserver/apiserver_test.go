@@ -1,13 +1,17 @@
 package apiserver
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exact"
@@ -140,12 +144,64 @@ func TestClientCaching(t *testing.T) {
 	srv, _ := newTestServer(t)
 	c := NewClient(srv.URL, srv.Client())
 	c.Neighbors(3)
-	n := c.Requests
+	n := c.RequestCount()
 	c.Neighbors(3)
 	c.Degree(3)
 	c.Neighbor(3, 0)
-	if c.Requests != n {
-		t.Errorf("cache miss on revisit: %d -> %d requests", n, c.Requests)
+	if c.RequestCount() != n {
+		t.Errorf("cache miss on revisit: %d -> %d requests", n, c.RequestCount())
+	}
+}
+
+// TestClientDefaultTimeout: a nil http.Client must not silently become
+// http.DefaultClient, whose zero timeout hangs forever on a dead server.
+func TestClientDefaultTimeout(t *testing.T) {
+	c := NewClient("http://example.invalid", nil)
+	if c.http == http.DefaultClient {
+		t.Fatal("nil http.Client fell back to http.DefaultClient")
+	}
+	if c.http.Timeout != DefaultTimeout {
+		t.Errorf("default client timeout = %v, want %v", c.http.Timeout, DefaultTimeout)
+	}
+}
+
+// TestClientContextDeadline: a WithContext client must abandon a hung server
+// when its deadline passes (surfaced via the client's panic convention), and
+// the derived client must share the original's crawl session.
+func TestClientContextDeadline(t *testing.T) {
+	srv, _ := newTestServer(t)
+	c := NewClient(srv.URL, srv.Client())
+	c.Neighbors(3) // warm one row through the base client
+	n := c.RequestCount()
+
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	t.Cleanup(hung.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	hc := NewClient(hung.URL, hung.Client()).WithContext(ctx)
+
+	done := make(chan string, 1)
+	go func() {
+		defer func() { done <- fmt.Sprint(recover()) }()
+		hc.Neighbors(0)
+	}()
+	select {
+	case msg := <-done:
+		if !strings.Contains(msg, "context deadline exceeded") {
+			t.Errorf("hung fetch panicked with %q, want a deadline error", msg)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadline-scoped fetch still blocked after 10s")
+	}
+
+	// Session sharing: the derivation reads the base client's cache without
+	// another round trip, and both count requests on the same counter.
+	scoped := c.WithContext(context.Background())
+	scoped.Neighbors(3)
+	if got := scoped.RequestCount(); got != n {
+		t.Errorf("derived client refetched a cached row: %d -> %d requests", n, got)
 	}
 }
 
@@ -168,8 +224,8 @@ func TestEstimateOverHTTP(t *testing.T) {
 	if math.Abs(got[1]-want[1]) > 0.2*want[1] {
 		t.Errorf("triangle concentration over HTTP: got %.4f, want %.4f", got[1], want[1])
 	}
-	if c.Requests >= 30000 {
-		t.Errorf("caching ineffective: %d requests for 30000 steps on a 300-node graph", c.Requests)
+	if c.RequestCount() >= 30000 {
+		t.Errorf("caching ineffective: %d requests for 30000 steps on a 300-node graph", c.RequestCount())
 	}
 }
 

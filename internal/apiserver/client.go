@@ -1,6 +1,7 @@
 package apiserver
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/access"
 )
@@ -27,13 +29,20 @@ import (
 type Client struct {
 	base string
 	http *http.Client
+	ctx  context.Context // applied to every request; nil means Background
 
+	s *crawlState
+}
+
+// crawlState is the crawl session shared by a Client and every WithContext
+// derivation of it: one cache, one single-flight table, one request counter.
+type crawlState struct {
 	mu       sync.RWMutex
 	cache    map[int32][]int32
 	inflight map[int32]*fetchCall
 
-	// Requests counts HTTP round trips actually issued (updated atomically).
-	Requests int64
+	// requests counts HTTP round trips actually issued.
+	requests atomic.Int64
 }
 
 // fetchCall is an in-flight neighbor fetch other goroutines can wait on.
@@ -47,37 +56,58 @@ type fetchCall struct {
 
 var _ access.Client = (*Client)(nil)
 
+// DefaultTimeout bounds each HTTP round trip when NewClient is handed no
+// http.Client of its own. A remote graph API that stops answering must
+// surface as a walker error within this window, never as an indefinite hang
+// (a distributed worker stuck here would stall its coordinator until the
+// partition watchdog gives up on the whole node).
+const DefaultTimeout = 30 * time.Second
+
 // NewClient crawls the API at base (e.g. "http://127.0.0.1:8080"). If hc is
-// nil, http.DefaultClient is used.
+// nil, a client with DefaultTimeout per request is used — never
+// http.DefaultClient, which waits forever.
 func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = &http.Client{Timeout: DefaultTimeout}
 	}
 	return &Client{
-		base:     base,
-		http:     hc,
-		cache:    make(map[int32][]int32),
-		inflight: make(map[int32]*fetchCall),
+		base: base,
+		http: hc,
+		s: &crawlState{
+			cache:    make(map[int32][]int32),
+			inflight: make(map[int32]*fetchCall),
+		},
 	}
 }
 
+// WithContext returns a client that issues every request under ctx: when
+// ctx is canceled or its deadline passes, in-flight and future calls abort
+// with the client's panic convention instead of waiting out the transport.
+// The derived client shares the crawl session — cache, single-flight table
+// and request counter — with the original, so scoping a walk to a deadline
+// costs no refetches.
+func (c *Client) WithContext(ctx context.Context) *Client {
+	return &Client{base: c.base, http: c.http, ctx: ctx, s: c.s}
+}
+
 // RequestCount returns the number of HTTP round trips issued so far.
-func (c *Client) RequestCount() int64 { return atomic.LoadInt64(&c.Requests) }
+func (c *Client) RequestCount() int64 { return c.s.requests.Load() }
 
 func (c *Client) fetch(v int32) []int32 {
-	c.mu.RLock()
-	ns, ok := c.cache[v]
-	c.mu.RUnlock()
+	s := c.s
+	s.mu.RLock()
+	ns, ok := s.cache[v]
+	s.mu.RUnlock()
 	if ok {
 		return ns
 	}
-	c.mu.Lock()
-	if ns, ok := c.cache[v]; ok {
-		c.mu.Unlock()
+	s.mu.Lock()
+	if ns, ok := s.cache[v]; ok {
+		s.mu.Unlock()
 		return ns
 	}
-	if call, ok := c.inflight[v]; ok {
-		c.mu.Unlock()
+	if call, ok := s.inflight[v]; ok {
+		s.mu.Unlock()
 		call.wg.Wait()
 		if !call.ok {
 			// Propagate the failure with this client's panic convention; the
@@ -88,21 +118,21 @@ func (c *Client) fetch(v int32) []int32 {
 	}
 	call := &fetchCall{}
 	call.wg.Add(1)
-	c.inflight[v] = call
-	c.mu.Unlock()
+	s.inflight[v] = call
+	s.mu.Unlock()
 
 	// c.get panics on transport errors; release waiters and clear the
 	// inflight entry even then, or a recovered panic higher up (runStage
 	// converts walker panics to errors) would leave them blocked forever.
 	ok = false
 	defer func() {
-		c.mu.Lock()
+		s.mu.Lock()
 		if ok {
-			c.cache[v] = call.ns
+			s.cache[v] = call.ns
 		}
 		call.ok = ok
-		delete(c.inflight, v)
-		c.mu.Unlock()
+		delete(s.inflight, v)
+		s.mu.Unlock()
 		call.wg.Done()
 	}()
 
@@ -135,8 +165,16 @@ func canonicalRow(ns []int32) []int32 {
 }
 
 func (c *Client) get(url string, out any) {
-	atomic.AddInt64(&c.Requests, 1)
-	r, err := c.http.Get(url)
+	c.s.requests.Add(1)
+	ctx := c.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		panic(fmt.Sprintf("apiserver client: %v", err))
+	}
+	r, err := c.http.Do(req)
 	if err != nil {
 		panic(fmt.Sprintf("apiserver client: %v", err))
 	}
@@ -162,14 +200,15 @@ func (c *Client) Neighbor(v int32, i int) int32 { return c.fetch(v)[i] }
 // when possible and otherwise fetching the smaller-unknown endpoint — the
 // strategy a polite crawler uses instead of a dedicated edge endpoint.
 func (c *Client) HasEdge(u, v int32) bool {
-	c.mu.RLock()
-	nsU, okU := c.cache[u]
+	s := c.s
+	s.mu.RLock()
+	nsU, okU := s.cache[u]
 	var nsV []int32
 	var okV bool
 	if !okU {
-		nsV, okV = c.cache[v]
+		nsV, okV = s.cache[v]
 	}
-	c.mu.RUnlock()
+	s.mu.RUnlock()
 	if okU {
 		return containsSorted(nsU, v)
 	}

@@ -203,6 +203,12 @@ type Estimator struct {
 	client  access.Client
 	walkers []*walker
 
+	// lo is the global index of walkers[0]: 0 for a full ensemble, the
+	// partition's first walker index for a NewPartitionEstimator. Quota and
+	// seed derivation always use global indices, so a partitioned run's
+	// walkers reproduce exactly the trajectories of a full local run.
+	lo int
+
 	// done is the checkpoint target reached so far (windows processed across
 	// walkers); Snapshot records it and Restore seeds it, making a run a
 	// serializable state machine.
@@ -223,6 +229,28 @@ func NewEstimator(client access.Client, cfg Config) (*Estimator, error) {
 		ws[i] = newWalker(client, cfg, walkerSeed(cfg.Seed, i))
 	}
 	return &Estimator{cfg: cfg, client: client, walkers: ws}, nil
+}
+
+// NewPartitionEstimator builds an estimator owning only walkers [lo, hi) of
+// the cfg.Walkers-walker ensemble — the unit of distributed execution. The
+// partition's walkers use their global seeds (walkerSeed(cfg.Seed, lo+i)) and
+// global window quotas, so running every partition of a budget n and merging
+// their accumulators in global walker-index order (CombinePartitionStates +
+// MergedResult) is byte-identical to one local NewEstimator run of the same
+// budget, at any partitioning.
+func NewPartitionEstimator(client access.Client, cfg Config, lo, hi int) (*Estimator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := walkerCount(cfg.Walkers)
+	if lo < 0 || hi > w || lo >= hi {
+		return nil, fmt.Errorf("core: partition [%d,%d) out of range for %d walkers", lo, hi, w)
+	}
+	ws := make([]*walker, hi-lo)
+	for i := range ws {
+		ws[i] = newWalker(client, cfg, walkerSeed(cfg.Seed, lo+i))
+	}
+	return &Estimator{cfg: cfg, client: client, walkers: ws, lo: lo}, nil
 }
 
 // Run processes n windows (Algorithm 1), split across the configured
@@ -255,6 +283,10 @@ func (e *Estimator) RunCheckpointsCtx(ctx context.Context, n, every int, fn func
 		return nil, fmt.Errorf("core: non-positive sample budget %d", n)
 	}
 	nw := len(e.walkers)
+	// Quotas are always computed against the full ensemble's walker count at
+	// global indices, so a partition advances its walkers exactly as a full
+	// local run would (for a full ensemble tw == nw and e.lo == 0).
+	tw := walkerCount(e.cfg.Walkers)
 	resumed := e.restored
 	e.restored = false
 	if resumed {
@@ -281,7 +313,7 @@ func (e *Estimator) RunCheckpointsCtx(ctx context.Context, n, every int, fn func
 		}
 		lo, hi := prev, target
 		if err := runStage(nw, func(i int) error {
-			return e.walkers[i].run(ctx, walkerQuota(hi, nw, i)-walkerQuota(lo, nw, i))
+			return e.walkers[i].run(ctx, walkerQuota(hi, tw, e.lo+i)-walkerQuota(lo, tw, e.lo+i))
 		}); err != nil {
 			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 				// A mid-stage cancel: the partial accumulators are intact and
@@ -334,14 +366,14 @@ func (e *Estimator) Restore(st *EnsembleState) error {
 	if len(st.Walkers) != len(e.walkers) {
 		return fmt.Errorf("core: ensemble state has %d walkers, estimator has %d", len(st.Walkers), len(e.walkers))
 	}
-	nw := len(e.walkers)
+	tw := walkerCount(e.cfg.Walkers)
 	for i, wk := range e.walkers {
-		// The quota split is a pure function of (WindowsDone, W, i); a state
-		// whose per-walker window counts disagree with it cannot have come
-		// from a checkpoint barrier.
-		if want := walkerQuota(st.WindowsDone, nw, i); st.Walkers[i].ResSteps != want {
+		// The quota split is a pure function of (WindowsDone, W, global
+		// index); a state whose per-walker window counts disagree with it
+		// cannot have come from a checkpoint barrier (of this partition).
+		if want := walkerQuota(st.WindowsDone, tw, e.lo+i); st.Walkers[i].ResSteps != want {
 			return fmt.Errorf("core: walker %d processed %d windows, want %d at ensemble target %d",
-				i, st.Walkers[i].ResSteps, want, st.WindowsDone)
+				e.lo+i, st.Walkers[i].ResSteps, want, st.WindowsDone)
 		}
 		if err := wk.restore(st.Walkers[i]); err != nil {
 			return err

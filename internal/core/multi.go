@@ -36,6 +36,10 @@ type MultiEstimator struct {
 	client  access.Client
 	walkers []*multiWalker
 
+	// lo is the global index of walkers[0] (see Estimator.lo): 0 for a full
+	// ensemble, the partition's first walker index otherwise.
+	lo int
+
 	// done is the checkpoint target reached so far (windows processed per
 	// size, summed across walkers); Snapshot records it and Restore seeds it.
 	done int
@@ -114,6 +118,25 @@ func NewMultiEstimator(client access.Client, cfg MultiConfig) (*MultiEstimator, 
 	return &MultiEstimator{cfg: cfg, client: client, walkers: ws}, nil
 }
 
+// NewPartitionMultiEstimator is NewPartitionEstimator for the multi-size
+// engine: an estimator owning walkers [lo, hi) of the cfg.Walkers-walker
+// ensemble, with global seeds and window quotas, so partitioned runs combine
+// byte-identically to a local NewMultiEstimator run.
+func NewPartitionMultiEstimator(client access.Client, cfg MultiConfig, lo, hi int) (*MultiEstimator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := walkerCount(cfg.Walkers)
+	if lo < 0 || hi > w || lo >= hi {
+		return nil, fmt.Errorf("core: partition [%d,%d) out of range for %d walkers", lo, hi, w)
+	}
+	ws := make([]*multiWalker, hi-lo)
+	for i := range ws {
+		ws[i] = newMultiWalker(client, cfg, walkerSeed(cfg.Seed, lo+i))
+	}
+	return &MultiEstimator{cfg: cfg, client: client, walkers: ws, lo: lo}, nil
+}
+
 // MultiResult holds one Result per requested size, keyed by k.
 type MultiResult struct {
 	// Steps is the number of windows processed per size (every size covers
@@ -158,6 +181,8 @@ func (m *MultiEstimator) RunCheckpointsCtx(ctx context.Context, n, every int, fn
 		return nil, fmt.Errorf("core: non-positive sample budget %d", n)
 	}
 	nw := len(m.walkers)
+	// Global-index quotas, as in Estimator.RunCheckpointsCtx.
+	tw := walkerCount(m.cfg.Walkers)
 	resumed := m.restored
 	m.restored = false
 	if resumed {
@@ -184,7 +209,7 @@ func (m *MultiEstimator) RunCheckpointsCtx(ctx context.Context, n, every int, fn
 		}
 		lo, hi := prev, target
 		if err := runStage(nw, func(i int) error {
-			return m.walkers[i].run(ctx, walkerQuota(hi, nw, i)-walkerQuota(lo, nw, i))
+			return m.walkers[i].run(ctx, walkerQuota(hi, tw, m.lo+i)-walkerQuota(lo, tw, m.lo+i))
 		}); err != nil {
 			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 				// A mid-stage cancel: the partial accumulators are intact and
@@ -232,15 +257,16 @@ func (m *MultiEstimator) Restore(st *MultiEnsembleState) error {
 	if len(st.Walkers) != len(m.walkers) {
 		return fmt.Errorf("core: multi ensemble state has %d walkers, estimator has %d", len(st.Walkers), len(m.walkers))
 	}
-	nw := len(m.walkers)
+	tw := walkerCount(m.cfg.Walkers)
 	for i, wk := range m.walkers {
 		// Every size advances in lockstep across stage barriers, so each
-		// size's window count must equal the pure-function quota split.
-		want := walkerQuota(st.WindowsDone, nw, i)
+		// size's window count must equal the pure-function quota split (at
+		// the walker's global index).
+		want := walkerQuota(st.WindowsDone, tw, m.lo+i)
 		for j, acc := range st.Walkers[i].Accs {
 			if acc.Done != want {
 				return fmt.Errorf("core: walker %d size[%d] processed %d windows, want %d at ensemble target %d",
-					i, j, acc.Done, want, st.WindowsDone)
+					m.lo+i, j, acc.Done, want, st.WindowsDone)
 			}
 		}
 		if err := wk.restore(st.Walkers[i]); err != nil {

@@ -1,0 +1,459 @@
+package dist
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func testGraph() *graph.Graph { return gen.ErdosRenyiGNM(250, 800, 5) }
+
+func metaOf(g *graph.Graph) GraphMeta {
+	return GraphMeta{Nodes: g.NumNodes(), Edges: g.NumEdges(), MaxDegree: g.MaxDegree()}
+}
+
+func lookupFor(g *graph.Graph, name string) func(string) (access.Client, GraphMeta, bool) {
+	return func(n string) (access.Client, GraphMeta, bool) {
+		if n != name {
+			return nil, GraphMeta{}, false
+		}
+		return access.NewGraphClient(g), metaOf(g), true
+	}
+}
+
+// startWorkers brings up n worker servers over g and returns their base URLs.
+func startWorkers(t *testing.T, g *graph.Graph, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		srv := httptest.NewServer(&Handler{Lookup: lookupFor(g, "test")})
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+// TestDistributedByteIdentical is the tentpole acceptance test: a job fanned
+// across two workers in three partitions produces exactly the bytes of a
+// local run, and every OnSync checkpoint is itself a valid full-ensemble
+// state whose merged result matches the local run at that target.
+func TestDistributedByteIdentical(t *testing.T) {
+	g := testGraph()
+	cfg := core.Config{K: 4, D: 2, CSS: true, Walkers: 5, Seed: 99}
+	const n, every = 3000, 500
+
+	local, err := core.NewEstimator(access.NewGraphClient(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAt := map[int]*core.Result{}
+	want, err := local.RunCheckpoints(n, every, func(step int, _ []float64) {
+		r, err := local.Snapshot().MergedResult()
+		if err != nil {
+			t.Errorf("local merged result at %d: %v", step, err)
+			return
+		}
+		wantAt[step] = r
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var syncTargets []int
+	syncStates := map[int][]byte{}
+	peers := startWorkers(t, g, 2)
+	finals, err := Run(t.Context(), Options{
+		Peers: peers,
+		OnSync: func(target int, combined []byte) {
+			mu.Lock()
+			defer mu.Unlock()
+			syncTargets = append(syncTargets, target)
+			syncStates[target] = combined
+		},
+		OnResume: func(int) { t.Error("OnResume fired for an uninterrupted run") },
+	}, PartitionAssignments(Assignment{
+		Graph: "test", Meta: metaOf(g), Single: &cfg, Budget: n, Every: every,
+	}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := mergeFinals(t, finals)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("distributed result differs from local run:\n got %+v\nwant %+v", got, want)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(syncTargets); i++ {
+		if syncTargets[i] <= syncTargets[i-1] {
+			t.Fatalf("sync targets not strictly increasing: %v", syncTargets)
+		}
+	}
+	if last := syncTargets[len(syncTargets)-1]; last != n {
+		t.Fatalf("final sync at %d, want %d (targets %v)", last, n, syncTargets)
+	}
+	for target, blob := range syncStates {
+		st, err := core.DecodeEnsembleState(blob)
+		if err != nil {
+			t.Fatalf("sync state at %d: %v", target, err)
+		}
+		r, err := st.MergedResult()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r, wantAt[target]) {
+			t.Errorf("sync state at %d differs from local checkpoint", target)
+		}
+	}
+}
+
+func mergeFinals(t *testing.T, finals [][]byte) *core.Result {
+	t.Helper()
+	parts := make([]*core.EnsembleState, len(finals))
+	for i, b := range finals {
+		st, err := core.DecodeEnsembleState(b)
+		if err != nil {
+			t.Fatalf("final %d: %v", i, err)
+		}
+		parts[i] = st
+	}
+	combined, err := core.CombinePartitionStates(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := combined.MergedResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// killingWorker serves partitions but aborts the connection after passing
+// killAfter frames, once; subsequent requests run healthy.
+type killingWorker struct {
+	g         *graph.Graph
+	killAfter int
+	killed    atomic.Bool
+}
+
+func (k *killingWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h := &Handler{Lookup: lookupFor(k.g, "test")}
+	if k.killed.Load() {
+		h.ServeHTTP(w, r)
+		return
+	}
+	k.killed.Store(true)
+	// First request: stream killAfter frames, then die mid-partition.
+	body, _ := io.ReadAll(r.Body)
+	asn, err := DecodeAssignment(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	client, _, _ := lookupFor(k.g, "test")(asn.Graph)
+	w.WriteHeader(http.StatusOK)
+	flusher := w.(http.Flusher)
+	frames := 0
+	_ = RunPartition(r.Context(), client, asn, func(f *Frame) error {
+		if frames >= k.killAfter {
+			panic(http.ErrAbortHandler) // hard connection drop, like a crashed node
+		}
+		frames++
+		if err := WriteFrame(w, f); err != nil {
+			return err
+		}
+		flusher.Flush()
+		return nil
+	})
+}
+
+// TestDistributedFailover kills a worker two checkpoints into a partition
+// and asserts the job still completes with a byte-identical result, the
+// retry resumes from the last streamed snapshot, and the preserved-window
+// accounting is exact.
+func TestDistributedFailover(t *testing.T) {
+	g := testGraph()
+	cfg := core.Config{K: 4, D: 2, CSS: true, Walkers: 4, Seed: 12}
+	const n, every = 3000, 500
+
+	want, err := core.NewEstimator(access.NewGraphClient(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := want.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killer := &killingWorker{g: g, killAfter: 2} // dies after targets 500, 1000
+	killSrv := httptest.NewServer(killer)
+	t.Cleanup(killSrv.Close)
+	healthy := startWorkers(t, g, 1)
+
+	var resumedMu sync.Mutex
+	var resumed []int
+	asns := PartitionAssignments(Assignment{
+		Graph: "test", Meta: metaOf(g), Single: &cfg, Budget: n, Every: every,
+	}, 2)
+	finals, err := Run(t.Context(), Options{
+		// Partition 0's first attempt lands on the killer; its retry rotates
+		// to the healthy worker.
+		Peers:   []string{killSrv.URL, healthy[0]},
+		Backoff: time.Millisecond,
+		OnResume: func(preserved int) {
+			resumedMu.Lock()
+			defer resumedMu.Unlock()
+			resumed = append(resumed, preserved)
+		},
+	}, asns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mergeFinals(t, finals); !reflect.DeepEqual(got, wantRes) {
+		t.Errorf("failover result differs from local run:\n got %+v\nwant %+v", got, wantRes)
+	}
+
+	// Exactly one partition resumed, preserving its quota share of the last
+	// snapshot the dead worker streamed (target 1000).
+	resumedMu.Lock()
+	defer resumedMu.Unlock()
+	wantPreserved := core.PartitionWindows(1000, cfg.Walkers, asns[0].Lo, asns[0].Hi)
+	if len(resumed) != 1 || resumed[0] != wantPreserved {
+		t.Errorf("resumed windows %v, want [%d]", resumed, wantPreserved)
+	}
+}
+
+// TestDistributedLocalFailover exhausts remote retries against a dead peer
+// and asserts the coordinator finishes the partition locally, still
+// byte-identical.
+func TestDistributedLocalFailover(t *testing.T) {
+	g := testGraph()
+	cfg := core.Config{K: 3, D: 1, Walkers: 3, Seed: 7}
+	const n = 1500
+
+	want, err := core.NewEstimator(access.NewGraphClient(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := want.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no capacity", http.StatusTooManyRequests)
+	}))
+	t.Cleanup(dead.Close)
+
+	finals, err := Run(t.Context(), Options{
+		Peers:       []string{dead.URL},
+		Retries:     2,
+		Backoff:     time.Millisecond,
+		LocalClient: func() access.Client { return access.NewGraphClient(g) },
+	}, PartitionAssignments(Assignment{
+		Graph: "test", Meta: metaOf(g), Single: &cfg, Budget: n, Every: 500,
+	}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mergeFinals(t, finals); !reflect.DeepEqual(got, wantRes) {
+		t.Errorf("local-failover result differs from local run")
+	}
+}
+
+// TestDistributedStall asserts the stream watchdog abandons a worker that
+// accepts the partition and then produces no frames.
+func TestDistributedStall(t *testing.T) {
+	g := testGraph()
+	cfg := core.Config{K: 3, D: 1, Walkers: 2, Seed: 5}
+	const n = 1000
+
+	stuck := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		<-r.Context().Done() // accept, then never send a frame
+	}))
+	t.Cleanup(stuck.Close)
+
+	want, err := core.NewEstimator(access.NewGraphClient(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := want.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	finals, err := Run(t.Context(), Options{
+		Peers:        []string{stuck.URL},
+		Retries:      1,
+		StallTimeout: 100 * time.Millisecond,
+		LocalClient:  func() access.Client { return access.NewGraphClient(g) },
+	}, PartitionAssignments(Assignment{
+		Graph: "test", Meta: metaOf(g), Single: &cfg, Budget: n, Every: 0,
+	}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("stalled stream took %s to abandon", elapsed)
+	}
+	if got := mergeFinals(t, finals); !reflect.DeepEqual(got, wantRes) {
+		t.Errorf("post-stall result differs from local run")
+	}
+}
+
+// TestDistributedMulti runs the shared-walk multi-size engine through the
+// full worker/coordinator path.
+func TestDistributedMulti(t *testing.T) {
+	g := testGraph()
+	cfg := core.MultiConfig{Sizes: []int{3, 4}, D: 2, CSS: true, Walkers: 4, Seed: 41}
+	const n, every = 2000, 500
+
+	local, err := core.NewMultiEstimator(access.NewGraphClient(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := local.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peers := startWorkers(t, g, 2)
+	finals, err := Run(t.Context(), Options{Peers: peers}, PartitionAssignments(Assignment{
+		Graph: "test", Meta: metaOf(g), Multi: &cfg, Budget: n, Every: every,
+	}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]*core.MultiEnsembleState, len(finals))
+	for i, b := range finals {
+		if parts[i], err = core.DecodeMultiEnsembleState(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	combined, err := core.CombineMultiPartitionStates(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := combined.MergedResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("distributed multi result differs from local run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCoordinatorResume covers coordinator crash recovery: a full-ensemble
+// snapshot sliced into per-partition resume blobs completes to the same
+// bytes, and OnResume sums to exactly the snapshot's windows.
+func TestCoordinatorResume(t *testing.T) {
+	g := testGraph()
+	cfg := core.Config{K: 4, D: 2, CSS: true, Walkers: 5, Seed: 3}
+	const n, every, crashAt = 3000, 500, 1500
+
+	local, err := core.NewEstimator(access.NewGraphClient(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob []byte
+	want, err := local.RunCheckpoints(n, every, func(step int, _ []float64) {
+		if step == crashAt {
+			blob = local.Snapshot().Encode()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.DecodeEnsembleState(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	asns := PartitionAssignments(Assignment{
+		Graph: "test", Meta: metaOf(g), Single: &cfg, Budget: n, Every: every,
+	}, 3)
+	for _, asn := range asns {
+		sl, err := full.Slice(asn.Lo, asn.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asn.Resume = sl.Encode()
+	}
+
+	var resumedTotal atomic.Int64
+	peers := startWorkers(t, g, 2)
+	finals, err := Run(t.Context(), Options{
+		Peers:    peers,
+		OnResume: func(preserved int) { resumedTotal.Add(int64(preserved)) },
+	}, asns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mergeFinals(t, finals); !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed distributed result differs from local run")
+	}
+	if got := resumedTotal.Load(); got != crashAt {
+		t.Errorf("resumed windows %d, want %d", got, crashAt)
+	}
+}
+
+// TestWorkerRejects pins the worker's up-front status codes.
+func TestWorkerRejects(t *testing.T) {
+	g := testGraph()
+	srv := httptest.NewServer(&Handler{Lookup: lookupFor(g, "test")})
+	t.Cleanup(srv.Close)
+
+	cfg := core.Config{K: 3, D: 1, Seed: 1}
+	good := Assignment{Graph: "test", Meta: metaOf(g), Single: &cfg, Budget: 10, Lo: 0, Hi: 1}
+
+	post := func(body []byte) int {
+		t.Helper()
+		resp, err := http.Post(srv.URL, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post([]byte("garbage")); code != http.StatusBadRequest {
+		t.Errorf("malformed assignment: status %d, want 400", code)
+	}
+	unknown := good
+	unknown.Graph = "nope"
+	if code := post(unknown.Encode()); code != http.StatusNotFound {
+		t.Errorf("unknown graph: status %d, want 404", code)
+	}
+	mismatch := good
+	mismatch.Meta.Nodes++
+	if code := post(mismatch.Encode()); code != http.StatusConflict {
+		t.Errorf("meta mismatch: status %d, want 409", code)
+	}
+	if code := post(good.Encode()); code != http.StatusOK {
+		t.Errorf("valid assignment: status %d, want 200", code)
+	}
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", resp.StatusCode)
+	}
+}

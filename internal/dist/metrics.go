@@ -1,0 +1,37 @@
+package dist
+
+import "repro/internal/obs"
+
+// Metrics instruments the coordinator side of distributed execution. All
+// handle types no-op on nil receivers, so a zero Metrics (or a nil Options
+// value, which the coordinator replaces with one) disables instrumentation
+// without branches at the call sites.
+type Metrics struct {
+	// Partitions counts partition lifecycle events by state: "dispatched",
+	// "completed", "retried", "failed", "failover_local".
+	Partitions *obs.CounterVec
+	// DispatchSeconds measures dispatch latency: POST start to first frame.
+	DispatchSeconds *obs.Histogram
+	// StreamSeconds measures full partition stream duration: POST start to
+	// final frame.
+	StreamSeconds *obs.Histogram
+	// PeerHealthy is 1 while a peer's last partition attempt succeeded,
+	// 0 after a failure, keyed by peer base URL.
+	PeerHealthy *obs.GaugeVec
+}
+
+// NewMetrics registers the coordinator metric families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Partitions: reg.CounterVec("graphletd_partitions_total",
+			"Distributed partition lifecycle events by state.", "state"),
+		DispatchSeconds: reg.Histogram("graphletd_partition_dispatch_seconds",
+			"Latency from partition dispatch to the worker's first frame.",
+			obs.LatencyBuckets),
+		StreamSeconds: reg.Histogram("graphletd_partition_stream_seconds",
+			"Duration of a full partition stream, dispatch to final frame.",
+			obs.LatencyBuckets),
+		PeerHealthy: reg.GaugeVec("graphletd_peer_healthy",
+			"1 while the peer's most recent partition attempt succeeded.", "peer"),
+	}
+}

@@ -1,0 +1,232 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// ErrBadResume wraps a failure to restore an assignment's resume blob. The
+// coordinator treats it as "the snapshot is unusable, re-run from scratch"
+// rather than "the worker is unhealthy".
+var ErrBadResume = errors.New("dist: resume state rejected")
+
+// DefaultMaxBodyBytes caps POST /v1/partitions request bodies; assignments
+// are small except for the optional resume blob.
+const DefaultMaxBodyBytes = 64 << 20
+
+// Handler serves POST /v1/partitions: it decodes an Assignment, runs the
+// partition against the locally registered graph, and streams Frames back —
+// a snapshot at every checkpoint barrier, then a final frame carrying the
+// terminal partition state (or an error frame).
+//
+// The response is written with status 200 before the run starts, so run-time
+// failures surface as error frames, not HTTP status codes. Status codes
+// cover what can be checked up front: 400 for a malformed assignment, 404
+// for an unknown graph, 409 for a graph whose fingerprint disagrees with the
+// assignment's, 429 when MaxInflight partitions are already running.
+type Handler struct {
+	// Lookup resolves a graph name to a crawl client and the local
+	// fingerprint. The client must be safe for concurrent use by the
+	// partition's walkers (the registry's graph-backed clients are).
+	Lookup func(name string) (access.Client, GraphMeta, bool)
+
+	// MaxBodyBytes caps the request body (DefaultMaxBodyBytes when 0).
+	MaxBodyBytes int64
+
+	// MaxInflight caps concurrently running partitions; further requests
+	// get 429. 0 means unlimited.
+	MaxInflight int
+
+	// Served counts served partitions by terminal state ("ok", "error",
+	// "rejected"); nil disables counting.
+	Served *obs.CounterVec
+
+	inflight atomic.Int64
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	maxBody := h.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		h.count("rejected")
+		http.Error(w, "request body unreadable or too large", http.StatusBadRequest)
+		return
+	}
+	asn, err := DecodeAssignment(body)
+	if err != nil {
+		h.count("rejected")
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if h.Lookup == nil {
+		h.count("rejected")
+		http.Error(w, "worker mode disabled", http.StatusNotFound)
+		return
+	}
+	client, meta, ok := h.Lookup(asn.Graph)
+	if !ok {
+		h.count("rejected")
+		http.Error(w, fmt.Sprintf("unknown graph %q", asn.Graph), http.StatusNotFound)
+		return
+	}
+	if meta != asn.Meta {
+		h.count("rejected")
+		http.Error(w, fmt.Sprintf("graph %q fingerprint mismatch: local %+v, assignment %+v",
+			asn.Graph, meta, asn.Meta), http.StatusConflict)
+		return
+	}
+	if h.MaxInflight > 0 {
+		if h.inflight.Add(1) > int64(h.MaxInflight) {
+			h.inflight.Add(-1)
+			h.count("rejected")
+			http.Error(w, "partition capacity exhausted", http.StatusTooManyRequests)
+			return
+		}
+		defer h.inflight.Add(-1)
+	}
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	emit := func(f *Frame) error {
+		if err := WriteFrame(w, f); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	if err := RunPartition(r.Context(), client, asn, emit); err != nil {
+		h.count("error")
+		// Best effort: the coordinator may already be gone.
+		_ = emit(&Frame{Kind: FrameError, Msg: err.Error()})
+		return
+	}
+	h.count("ok")
+}
+
+func (h *Handler) count(state string) { h.Served.With(state).Inc() }
+
+// WriteFrame writes one length-prefixed frame to the stream.
+func WriteFrame(w io.Writer, f *Frame) error {
+	blob := f.Encode()
+	hdr := binary.AppendUvarint(make([]byte, 0, 10), uint64(len(blob)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(blob)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame; io.EOF cleanly at a frame
+// boundary means the stream ended.
+func ReadFrame(r *bufio.Reader) (*Frame, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("dist: frame length: %w", err)
+	}
+	if n > maxBlobBytes+maxMsgBytes {
+		return nil, fmt.Errorf("dist: frame of %d bytes exceeds cap", n)
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return DecodeFrame(blob)
+}
+
+// RunPartition executes an assignment's walker range against client, calling
+// emit with a snapshot frame at every intermediate checkpoint barrier and a
+// final frame when the budget completes. An emit error cancels the run. It
+// is the single execution path for remote workers (via Handler) and the
+// coordinator's local failover, so both produce identical frames.
+func RunPartition(ctx context.Context, client access.Client, asn *Assignment, emit func(*Frame) error) error {
+	if err := asn.Validate(); err != nil {
+		return err
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var emitErr error
+	send := func(f *Frame) {
+		if emitErr == nil {
+			if emitErr = emit(f); emitErr != nil {
+				cancel()
+			}
+		}
+	}
+	var runErr error
+	if asn.Single != nil {
+		est, err := core.NewPartitionEstimator(client, *asn.Single, asn.Lo, asn.Hi)
+		if err != nil {
+			return err
+		}
+		if len(asn.Resume) > 0 {
+			st, err := core.DecodeEnsembleState(asn.Resume)
+			if err == nil {
+				err = est.Restore(st)
+			}
+			if err != nil {
+				return fmt.Errorf("%w: %w", ErrBadResume, err)
+			}
+		}
+		_, runErr = est.RunCheckpointsCtx(cctx, asn.Budget, asn.Every, func(step int, _ []float64) {
+			if step < asn.Budget {
+				send(&Frame{Kind: FrameSnapshot, Target: step, State: est.Snapshot().Encode()})
+			}
+		})
+		if runErr == nil {
+			send(&Frame{Kind: FrameFinal, Target: asn.Budget, State: est.Snapshot().Encode()})
+		}
+	} else {
+		est, err := core.NewPartitionMultiEstimator(client, *asn.Multi, asn.Lo, asn.Hi)
+		if err != nil {
+			return err
+		}
+		if len(asn.Resume) > 0 {
+			st, err := core.DecodeMultiEnsembleState(asn.Resume)
+			if err == nil {
+				err = est.Restore(st)
+			}
+			if err != nil {
+				return fmt.Errorf("%w: %w", ErrBadResume, err)
+			}
+		}
+		_, runErr = est.RunCheckpointsCtx(cctx, asn.Budget, asn.Every, func(step int, _ map[int][]float64) {
+			if step < asn.Budget {
+				send(&Frame{Kind: FrameSnapshot, Target: step, State: est.Snapshot().Encode()})
+			}
+		})
+		if runErr == nil {
+			send(&Frame{Kind: FrameFinal, Target: asn.Budget, State: est.Snapshot().Encode()})
+		}
+	}
+	if emitErr != nil {
+		return fmt.Errorf("dist: streaming partition [%d,%d): %w", asn.Lo, asn.Hi, emitErr)
+	}
+	return runErr
+}

@@ -41,6 +41,9 @@ import (
 //	GET    /v1/stats              -> service counters (runs, cache hits,
 //	                                 queue depths by class, queue-wait
 //	                                 quantiles, journal state...)
+//	POST   /v1/partitions         -> distributed-execution worker endpoint
+//	                                 (binary Assignment in, Frame stream
+//	                                 out); 404 unless started with -worker
 //
 // Operational endpoints (non-JSON unless noted):
 //
@@ -61,6 +64,10 @@ type Server struct {
 	// Health gates GET /readyz. Nil reports ready (tests and embedded servers
 	// have no startup phase worth gating).
 	Health *obs.Health
+	// Partitions serves POST /v1/partitions — the distributed-execution
+	// worker endpoint (a dist.Handler). Nil (the default) answers 404:
+	// a graphletd only accepts partition work when started with -worker.
+	Partitions http.Handler
 }
 
 // NewServer wires the registry and job manager into an HTTP handler.
@@ -95,6 +102,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.job(w, r, rest)
 	case path == "/v1/stats" && r.Method == http.MethodGet:
 		writeJSON(w, http.StatusOK, s.mgr.Stats())
+	case path == "/v1/partitions":
+		if s.Partitions == nil {
+			writeError(w, http.StatusNotFound, "this node does not accept partition work (start with -worker)")
+			return
+		}
+		s.Partitions.ServeHTTP(w, r)
 	default:
 		writeError(w, http.StatusNotFound, "not found")
 	}
@@ -241,7 +254,7 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 func RoutePattern(path string) string {
 	path = strings.TrimSuffix(path, "/")
 	switch path {
-	case "/v1/graphs", "/v1/jobs", "/v1/stats", "/metrics", "/healthz", "/readyz":
+	case "/v1/graphs", "/v1/jobs", "/v1/stats", "/v1/partitions", "/metrics", "/healthz", "/readyz":
 		return path
 	}
 	if strings.HasPrefix(path, "/v1/graphs/") {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"path/filepath"
 	"slices"
 	"strconv"
@@ -45,6 +46,13 @@ type Spec struct {
 	// result — only when it is computed — so it is excluded from the cache
 	// and coalescing key.
 	Priority Priority `json:"priority,omitempty"`
+	// Nodes requests distributed execution: the job's walkers fan out over
+	// up to Nodes machines of the configured fleet (Options.Peers). 0 or 1
+	// runs locally. Like Priority it cannot affect the result bytes — a
+	// distributed run is byte-identical to a local one — so it is excluded
+	// from the cache and coalescing key: a 3-node run warms the cache for
+	// local re-asks and vice versa.
+	Nodes int `json:"nodes,omitempty"`
 }
 
 // specKey is the comparable projection of a Spec: the scheduling class is
@@ -313,6 +321,22 @@ type Options struct {
 	// in-memory access.NewGraphClient. Tests and latency modeling inject
 	// wrappers (access.NewDelayed, access.NewCounting) here.
 	NewClient func(g *graph.Graph) access.Client
+	// Peers lists worker base URLs for distributed execution. Jobs whose
+	// spec sets Nodes > 1 fan their walker ensemble over the fleet
+	// (internal/dist); empty disables distribution and such jobs run
+	// locally. The scheduler charges the coordinator one worker slot for
+	// the whole job regardless of fan-out.
+	Peers []string
+	// DistHTTPClient issues the partition dispatches (must not set an
+	// overall Timeout; streams last the whole job). Nil means a fresh
+	// client. Tests inject httptest clients here.
+	DistHTTPClient *http.Client
+	// DistRetries / DistBackoff / DistStallTimeout tune per-partition
+	// failover (zero values take the dist package defaults: 3 retries,
+	// 250ms base backoff, 2m stall timeout).
+	DistRetries      int
+	DistBackoff      time.Duration
+	DistStallTimeout time.Duration
 	// Metrics is the observability registry the manager records into (and
 	// GET /metrics renders). nil creates a private registry — Stats is
 	// derived from the metric handles either way.
@@ -465,6 +489,9 @@ func (m *Manager) validate(spec Spec) error {
 	}
 	if spec.Walkers > m.opts.MaxWalkers {
 		return fmt.Errorf("service: walkers %d exceeds server cap %d", spec.Walkers, m.opts.MaxWalkers)
+	}
+	if spec.Nodes < 0 || spec.Nodes > maxFanout {
+		return fmt.Errorf("service: nodes %d out of range 0..%d", spec.Nodes, maxFanout)
 	}
 	if spec.multi() {
 		if spec.K != 0 {
@@ -804,6 +831,12 @@ func (m *Manager) runJob(j *job) {
 		// (a terminal "failed" state with an actionable message) instead of
 		// surfacing whatever a nil graph would have produced mid-run.
 		m.settle(j, nil, fmt.Errorf("service: graph %q was removed after this job was submitted", j.spec.Graph))
+		return
+	}
+	if j.spec.Nodes > 1 && len(m.opts.Peers) > 0 {
+		// Distributed fan-out: the coordinator occupies this worker slot for
+		// the job's duration; the walk itself runs on the fleet (dist.go).
+		m.runDistributed(ctx, j, g, resumeSnap)
 		return
 	}
 	if j.spec.multi() {

@@ -3,6 +3,7 @@ package service
 import (
 	"sort"
 
+	"repro/internal/dist"
 	"repro/internal/obs"
 	"repro/internal/service/journal"
 	"repro/internal/stats"
@@ -56,6 +57,10 @@ type serviceMetrics struct {
 	multiRuns    *obs.Counter
 	multiSteps   *obs.CounterVec // graphletd_multi_walk_steps_total{k}
 	multiResults *obs.CounterVec // graphletd_multi_results_total{k}
+
+	// Distributed execution (coordinator side; the worker endpoint's served
+	// counter lives on the dist.Handler cmd/graphletd mounts).
+	dist *dist.Metrics
 
 	// Graph registry.
 	graphs *obs.GaugeVec // {source}
@@ -120,6 +125,7 @@ func newServiceMetrics(reg *obs.Registry, graphs *Registry) *serviceMetrics {
 			"Per-size results produced by completed multi-size runs (cache fan-out entries).", "k"),
 		graphs: reg.GaugeVec("graphletd_graphs",
 			"Registered graphs by source (dataset, file, gcsr, inline).", "source"),
+		dist: dist.NewMetrics(reg),
 	}
 	m.journal = &journal.Metrics{
 		Appends: reg.Counter("graphletd_journal_appends_total",
