@@ -1,16 +1,22 @@
 // Command graphlet-pack converts a graph into the .gcsr binary CSR format,
-// the store behind graphletd's instant daemon starts and the zero-copy mmap
-// load path: pack once, then every open is milliseconds instead of an
-// edge-list re-parse.
+// the store behind graphletd's instant daemon starts and the mmap load
+// path: pack once, then every open is milliseconds instead of an edge-list
+// re-parse.
 //
 // Usage:
 //
 //	graphlet-pack -in graph.txt -out graph.gcsr [-lcc=false] [-verify]
+//	graphlet-pack -in graph.txt -out graph.gcsr -format v2 [-block-bytes N]
+//	graphlet-pack -in graph.txt -out graph.gcsr -keep-ids
 //	graphlet-pack -dataset epinion -out epinion.gcsr
 //
-// By default the largest connected component is extracted before packing
-// (the paper's preprocessing, and what lets the daemon serve the file
-// straight from the mapping); -lcc=false packs the input as-is. -verify
+// -format selects the output version: v1 (raw arrays, zero-copy mmap) or v2
+// (block-compressed adjacency, roughly half the bytes, served through a
+// bounded decode cache). By default the largest connected component is
+// extracted before packing (the paper's preprocessing, and what lets the
+// daemon serve the file straight from the mapping); -lcc=false packs the
+// input as-is. -keep-ids preserves the source node IDs of an edge-list
+// input: embedded in the file for v2, as a .gids sidecar for v1. -verify
 // re-opens the written file through the mmap path and validates every
 // structural invariant.
 package main
@@ -27,12 +33,15 @@ import (
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input graph file (edge list or .gcsr)")
-		format  = flag.String("format", "auto", "input format: auto|edgelist|gcsr")
-		dataset = flag.String("dataset", "", "pack a stand-in dataset instead of a file")
-		out     = flag.String("out", "", "output .gcsr file (required)")
-		lcc     = flag.Bool("lcc", true, "extract the largest connected component before packing")
-		verify  = flag.Bool("verify", false, "re-open the output via mmap and validate it")
+		in         = flag.String("in", "", "input graph file (edge list or .gcsr)")
+		inFormat   = flag.String("in-format", "auto", "input format: auto|edgelist|gcsr")
+		outFormat  = flag.String("format", "v1", "output .gcsr version: v1|v2")
+		dataset    = flag.String("dataset", "", "pack a stand-in dataset instead of a file")
+		out        = flag.String("out", "", "output .gcsr file (required)")
+		lcc        = flag.Bool("lcc", true, "extract the largest connected component before packing")
+		keepIDs    = flag.Bool("keep-ids", false, "preserve source node IDs (embedded in v2, .gids sidecar for v1)")
+		blockBytes = flag.Int("block-bytes", 0, "v2 target encoded block size (0 = default 64 KiB)")
+		verify     = flag.Bool("verify", false, "re-open the output via mmap and validate it")
 	)
 	flag.Parse()
 	if *out == "" || (*in == "") == (*dataset == "") {
@@ -40,35 +49,85 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var version int
+	switch *outFormat {
+	case "v1", "1":
+		version = 1
+	case "v2", "2":
+		version = 2
+	default:
+		fail(fmt.Errorf("unknown output format %q (want v1 or v2)", *outFormat))
+	}
 
 	start := time.Now()
-	var g *graph.Graph
+	var (
+		g   *graph.Graph
+		ids []int64
+	)
 	switch {
 	case *dataset != "":
 		d, err := datasets.Get(*dataset)
 		if err != nil {
 			fail(err)
 		}
-		g = d.Graph() // already the LCC
+		g = d.Graph() // already the LCC; dense IDs are the dataset's IDs
+		if *keepIDs {
+			fail(fmt.Errorf("-keep-ids applies to -in files (datasets are already densely numbered)"))
+		}
 	default:
-		f, err := graph.ParseFormat(*format)
+		f, err := graph.ParseFormat(*inFormat)
 		if err != nil {
 			fail(err)
 		}
-		loaded, err := graph.OpenFile(*in, f)
+		if f == graph.FormatAuto {
+			f = graph.DetectFormat(*in)
+		}
+		var loaded *graph.Graph
+		if *keepIDs && f == graph.FormatEdgeList {
+			loaded, ids, err = graph.LoadEdgeListKeepIDs(*in)
+		} else {
+			loaded, err = graph.OpenFile(*in, f)
+		}
 		if err != nil {
 			fail(err)
+		}
+		if ids == nil {
+			ids = loaded.OriginalIDs() // a .gcsr input may already carry IDs
+		}
+		if *keepIDs && ids == nil {
+			fail(fmt.Errorf("-keep-ids: input %s carries no source IDs to keep", *in))
 		}
 		g = loaded
 		if *lcc {
-			g, _ = graph.LargestComponent(loaded)
+			var toOld []int32
+			g, toOld = graph.LargestComponent(loaded)
+			if ids != nil && g != loaded {
+				// Compose the remap through the LCC renumbering.
+				lccIDs := make([]int64, len(toOld))
+				for v, old := range toOld {
+					lccIDs[v] = ids[old]
+				}
+				ids = lccIDs
+			}
 		}
+	}
+	if !*keepIDs {
+		ids = nil
 	}
 	loadTime := time.Since(start)
 
 	start = time.Now()
-	if err := graph.Save(*out, g); err != nil {
+	opts := graph.SaveOptions{Version: version, BlockBytes: *blockBytes}
+	if version == 2 {
+		opts.IDs = ids
+	}
+	if err := graph.SaveOpts(*out, g, opts); err != nil {
 		fail(err)
+	}
+	if version == 1 && ids != nil {
+		if err := graph.SaveIDs(graph.IDsSidecarPath(*out), ids); err != nil {
+			fail(err)
+		}
 	}
 	saveTime := time.Since(start)
 
@@ -76,13 +135,20 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("packed %d nodes, %d edges (max degree %d) -> %s (%d bytes)\n",
-		g.NumNodes(), g.NumEdges(), g.MaxDegree(), *out, st.Size())
+	fmt.Printf("packed %d nodes, %d edges (max degree %d) -> %s (%d bytes, %s)\n",
+		g.NumNodes(), g.NumEdges(), g.MaxDegree(), *out, st.Size(), *outFormat)
+	if ids != nil {
+		where := "embedded"
+		if version == 1 {
+			where = graph.IDsSidecarPath(*out)
+		}
+		fmt.Printf("kept %d source IDs (%s)\n", len(ids), where)
+	}
 	fmt.Printf("load %s, pack %s\n", loadTime.Round(time.Millisecond), saveTime.Round(time.Millisecond))
 
 	if *verify {
 		start = time.Now()
-		m, err := graph.OpenMapped(*out)
+		m, err := graph.OpenFile(*out, graph.FormatGCSR)
 		if err != nil {
 			fail(fmt.Errorf("verify: %w", err))
 		}
@@ -91,6 +157,16 @@ func main() {
 		}
 		if m.NumNodes() != g.NumNodes() || m.NumEdges() != g.NumEdges() || m.MaxDegree() != g.MaxDegree() {
 			fail(fmt.Errorf("verify: reopened graph %v differs from packed %v", m, g))
+		}
+		if ids != nil {
+			if !m.HasOriginalIDs() {
+				fail(fmt.Errorf("verify: kept IDs did not round-trip"))
+			}
+			for v, id := range ids {
+				if m.OriginalID(int32(v)) != id {
+					fail(fmt.Errorf("verify: original ID of node %d is %d, want %d", v, m.OriginalID(int32(v)), id))
+				}
+			}
 		}
 		m.Close()
 		fmt.Printf("verified via mmap in %s\n", time.Since(start).Round(time.Millisecond))

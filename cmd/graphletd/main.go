@@ -38,9 +38,14 @@
 // cmd/graphlet-pack); .gcsr files open zero-copy through mmap — one
 // sequential checksum/validation pass over the raw bytes instead of an
 // edge-list parse and rebuild (~40x faster at 1M edges) — and resident
-// pages are shared with any other process mapping the same file. Dataset
-// graphs are likewise cached as .gcsr under $REPRO_CACHE_DIR after first
-// build.
+// pages are shared with any other process mapping the same file.
+// Block-compressed .gcsr v2 files (graphlet-pack -format v2, about half the
+// bytes on disk) are served through a bounded decoded-block cache sized by
+// -block-cache-mb; its hit/miss/eviction/residency counters are exposed as
+// graphletd_blockcache_* gauges on /metrics. Graphs packed with -keep-ids
+// report "original_ids": true in GET /v1/graphs. Dataset graphs are
+// likewise cached as .gcsr under $REPRO_CACHE_DIR after first build
+// (REPRO_CACHE_FORMAT=v2 selects the compressed encoding for the cache).
 //
 // Multi-size jobs: a spec with "sizes":[3,4,5] instead of "k" runs one
 // shared random walk covering every listed size — the step budget (and the
@@ -119,6 +124,7 @@ func main() {
 		accessLog  = flag.Bool("access-log", true, "log one structured line per request to stderr")
 		peersFlag  = flag.String("peers", "", "comma-separated worker base URLs for distributed jobs (e.g. http://10.0.0.2:9090)")
 		worker     = flag.Bool("worker", false, "accept partition work from coordinators at POST /v1/partitions")
+		blockCache = flag.Int64("block-cache-mb", 64, "per-graph decoded-block cache budget for .gcsr v2 files, in MiB")
 	)
 	flag.Var(&graphFlags, "graph", "name=path graph to register, edge list or .gcsr (repeatable)")
 	flag.Parse()
@@ -166,7 +172,7 @@ func main() {
 		if !ok {
 			fail(fmt.Errorf("bad -graph %q, want name=path", spec))
 		}
-		if err := reg.AddFile(name, path); err != nil {
+		if err := reg.AddFileOpts(name, path, graph.OpenOptions{BlockCacheBytes: *blockCache << 20}); err != nil {
 			fail(err)
 		}
 	}

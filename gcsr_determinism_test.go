@@ -11,7 +11,9 @@ import (
 
 // The acceptance property of the binary CSR store: an estimation over a
 // builder-loaded graph must be byte-identical to the same estimation over
-// the .gcsr portable-load and mmap'd graphs. The walk consumes only
+// the .gcsr portable-load and mmap'd graphs — and over the block-compressed
+// v2 store, whether its decode cache holds everything or thrashes. The walk
+// consumes only
 // adjacency and the seeded RNG, so equal graphs must give equal bytes — any
 // divergence means the store (or the hub-bitset probe path) changed the
 // topology it serves.
@@ -19,7 +21,8 @@ func TestEstimateByteIdenticalAcrossLoadPaths(t *testing.T) {
 	raw := gen.HolmeKim(1200, 4, 0.6, 77)
 	built, _ := LargestComponent(raw)
 
-	path := filepath.Join(t.TempDir(), "g.gcsr")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.gcsr")
 	if err := SaveGraph(path, built); err != nil {
 		t.Fatal(err)
 	}
@@ -35,6 +38,25 @@ func TestEstimateByteIdenticalAcrossLoadPaths(t *testing.T) {
 	if !mapped.Mapped() {
 		t.Log("OpenMapped fell back to the portable load path on this platform")
 	}
+
+	// The block-compressed v2 store must serve the identical topology: once
+	// through a cache big enough to hold every decoded block, and once
+	// through a cache small enough to thrash (evictions mid-walk must never
+	// change what a row contains).
+	pathV2 := filepath.Join(dir, "g2.gcsr")
+	if err := graph.SaveOpts(pathV2, built, graph.SaveOptions{Version: 2, BlockBytes: 4 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	cached, err := graph.OpenMappedOpts(pathV2, graph.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cached.Close()
+	thrashed, err := graph.OpenMappedOpts(pathV2, graph.OpenOptions{BlockCacheBytes: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer thrashed.Close()
 
 	for _, cfg := range []Config{
 		{K: 3, D: 1, CSS: true, NB: true, Seed: 5},
@@ -63,6 +85,12 @@ func TestEstimateByteIdenticalAcrossLoadPaths(t *testing.T) {
 			}
 			if got := render(mapped); got != want {
 				t.Errorf("OpenMapped path diverged:\nbuilt:  %s\nmapped: %s", want, got)
+			}
+			if got := render(cached); got != want {
+				t.Errorf("v2 cached path diverged:\nbuilt:  %s\ncached: %s", want, got)
+			}
+			if got := render(thrashed); got != want {
+				t.Errorf("v2 thrashing-cache path diverged:\nbuilt:    %s\nthrashed: %s", want, got)
 			}
 		})
 	}

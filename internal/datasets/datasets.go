@@ -147,6 +147,8 @@ const graphCacheGen = 1
 // best-effort, and a hit is byte-identical to a fresh build
 // (Save/OpenMapped round trips preserve the graph exactly) as long as the
 // generator definitions match the cache generation (graphCacheGen).
+// REPRO_CACHE_FORMAT=v2 writes cache entries block-compressed; reads
+// auto-detect either version.
 func (d Dataset) Graph() *graph.Graph {
 	mu.Lock()
 	g, ok := graphs[d.Name]
@@ -168,7 +170,7 @@ func (d Dataset) Graph() *graph.Graph {
 	lcc, _ := graph.LargestComponent(raw)
 	if caching {
 		if err := os.MkdirAll(cacheDir(), 0o755); err == nil {
-			_ = graph.Save(cachePath, lcc) // best-effort, atomic
+			_ = graph.SaveOpts(cachePath, lcc, graph.SaveOptions{Version: cacheFormatVersion()}) // best-effort, atomic
 		}
 	}
 	mu.Lock()
@@ -224,6 +226,18 @@ func (d Dataset) Concentration(k int) ([]float64, error) {
 		return nil, err
 	}
 	return exact.Concentrations(c), nil
+}
+
+// cacheFormatVersion picks the .gcsr version for cache writes:
+// REPRO_CACHE_FORMAT=v2 selects the block-compressed encoding (about half
+// the bytes, served through the decode cache), anything else the raw v1
+// arrays. Reads auto-detect, so flipping the variable never invalidates
+// existing entries.
+func cacheFormatVersion() int {
+	if f := os.Getenv("REPRO_CACHE_FORMAT"); f == "v2" || f == "2" {
+		return 2
+	}
+	return 1
 }
 
 // cacheDir resolves the on-disk cache location: $REPRO_CACHE_DIR or a

@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// blockStore serves adjacency rows of a version-2 .gcsr image through a
+// bounded decoded-block cache.
+//
+// The hot path (a warm hit) is lock-free and allocation-free: an atomic
+// pointer load per block plus a conditional store of the clock reference
+// bit. Misses decode outside the lock and publish under it. Eviction only
+// drops the cache's reference to a decoded block — callers may still hold
+// row slices into an evicted block's arrays, so buffers are never reused;
+// the garbage collector reclaims them once the last row slice dies. This is
+// the same second-chance (clock) policy as internal/walk's stateInfo cache,
+// adapted to byte-weighted entries.
+type blockStore struct {
+	data       []byte       // whole file image (mmap'd or heap)
+	n          int64        // node count, for decode validation
+	metas      []blockMeta  // parsed block index
+	firstNodes []int32      // metas[i].first, for binary search in blockOf
+	slots      []atomic.Pointer[decodedBlock]
+	ref        []atomic.Uint32 // clock reference bits, parallel to slots
+	capBytes   int64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	resBytes  atomic.Int64
+	resBlocks atomic.Int64
+
+	mu   sync.Mutex // guards slot stores and the clock hand
+	hand int
+}
+
+// decodedBlock is one block's rows in ready-to-serve form. off and adj are
+// local to the block: node v's row is adj[off[v-first]:off[v-first+1]].
+type decodedBlock struct {
+	first int32
+	off   []int32
+	adj   []int32
+	bytes int64 // accounted cache weight
+}
+
+func newBlockStore(data []byte, lay v2Layout, capBytes int64) *blockStore {
+	if capBytes <= 0 {
+		capBytes = DefaultBlockCacheBytes
+	}
+	s := &blockStore{
+		data:       data,
+		n:          lay.h.n,
+		metas:      lay.metas,
+		firstNodes: make([]int32, len(lay.metas)),
+		slots:      make([]atomic.Pointer[decodedBlock], len(lay.metas)),
+		ref:        make([]atomic.Uint32, len(lay.metas)),
+		capBytes:   capBytes,
+	}
+	for i, bm := range lay.metas {
+		s.firstNodes[i] = bm.first
+	}
+	return s
+}
+
+// blockOf returns the index of the block holding node v's row.
+func (s *blockStore) blockOf(v int32) int {
+	// sort.Search-style binary search, inlined to keep the hot path free
+	// of the closure allocation.
+	lo, hi := 0, len(s.firstNodes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.firstNodes[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// row returns node v's neighbor row. The returned slice stays valid for the
+// caller's lifetime even across evictions (buffers are never reused), but
+// as with Graph.Neighbors it must not be written to.
+func (s *blockStore) row(v int32) []int32 {
+	db := s.block(s.blockOf(v))
+	i := v - db.first
+	return db.adj[db.off[i]:db.off[i+1]]
+}
+
+// block returns block b's decoded form, decoding and caching on a miss.
+func (s *blockStore) block(b int) *decodedBlock {
+	if db := s.slots[b].Load(); db != nil {
+		// Load-then-conditional-store keeps warm hits from ping-ponging
+		// the cache line between cores the way an unconditional store
+		// would.
+		if s.ref[b].Load() == 0 {
+			s.ref[b].Store(1)
+		}
+		s.hits.Add(1)
+		return db
+	}
+	s.misses.Add(1)
+	bm := s.metas[b]
+	off, adj, err := decodeV2Block(s.data[bm.off:bm.off+int64(bm.encLen)], bm, s.n)
+	if err != nil {
+		// Every block decoded cleanly at open time, so this can only mean
+		// the backing file changed underneath the mapping.
+		panic(fmt.Sprintf("gcsr: block %d failed to decode after open-time validation (backing file modified?): %v", b, err))
+	}
+	db := &decodedBlock{
+		first: bm.first,
+		off:   off,
+		adj:   adj,
+		bytes: int64(len(off)+len(adj))*4 + 48,
+	}
+	s.mu.Lock()
+	if cur := s.slots[b].Load(); cur != nil {
+		// A racing miss published first; serve its copy and drop ours.
+		s.mu.Unlock()
+		return cur
+	}
+	s.slots[b].Store(db)
+	s.ref[b].Store(1)
+	s.resBytes.Add(db.bytes)
+	s.resBlocks.Add(1)
+	s.evict()
+	s.mu.Unlock()
+	return db
+}
+
+// evict runs the clock hand until the cache fits its byte budget, always
+// leaving at least one resident block so a cache smaller than one block
+// still makes progress. Caller holds s.mu.
+func (s *blockStore) evict() {
+	for s.resBytes.Load() > s.capBytes && s.resBlocks.Load() > 1 {
+		b := s.hand
+		s.hand++
+		if s.hand == len(s.slots) {
+			s.hand = 0
+		}
+		db := s.slots[b].Load()
+		if db == nil {
+			continue
+		}
+		if s.ref[b].Load() != 0 {
+			s.ref[b].Store(0) // second chance
+			continue
+		}
+		s.slots[b].Store(nil)
+		s.resBytes.Add(-db.bytes)
+		s.resBlocks.Add(-1)
+		s.evictions.Add(1)
+	}
+}
+
+// BlockCacheStats is a point-in-time snapshot of one graph's decoded-block
+// cache, exported on /metrics by the service layer.
+type BlockCacheStats struct {
+	Blocks         int    // total blocks in the file
+	ResidentBlocks int64  // blocks currently decoded and cached
+	ResidentBytes  int64  // accounted size of resident blocks
+	CapacityBytes  int64  // configured cache bound
+	Hits           uint64 // row reads served from the cache
+	Misses         uint64 // row reads that decoded a block
+	Evictions      uint64 // blocks dropped by the clock hand
+}
+
+func (s *blockStore) stats() BlockCacheStats {
+	return BlockCacheStats{
+		Blocks:         len(s.metas),
+		ResidentBlocks: s.resBlocks.Load(),
+		ResidentBytes:  s.resBytes.Load(),
+		CapacityBytes:  s.capBytes,
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Evictions:      s.evictions.Load(),
+	}
+}

@@ -108,12 +108,30 @@ func writePayload(w io.Writer, g *Graph) error {
 	return nil
 }
 
-// Save writes g to path in the .gcsr format, atomically: the bytes go to a
-// uniquely named temporary file in the same directory, then rename into
-// place. Concurrent savers of the same path (e.g. two processes both
-// missing the dataset cache) each write their own temp file, and the last
-// rename wins with a complete file either way.
+// Save writes g to path in the version-1 .gcsr format, atomically. See
+// SaveOpts for version selection.
 func Save(path string, g *Graph) error {
+	return SaveOpts(path, g, SaveOptions{})
+}
+
+// SaveOpts writes g to path in the .gcsr format selected by o, atomically:
+// the bytes go to a uniquely named temporary file in the same directory,
+// then rename into place. Concurrent savers of the same path (e.g. two
+// processes both missing the dataset cache) each write their own temp file,
+// and the last rename wins with a complete file either way.
+func SaveOpts(path string, g *Graph, o SaveOptions) error {
+	var write func(w io.Writer) error
+	switch o.Version {
+	case 0, gcsrVersion:
+		if o.IDs != nil {
+			return fmt.Errorf("gcsr: version 1 cannot embed original IDs (write a %s sidecar with SaveIDs)", GIDSExt)
+		}
+		write = func(w io.Writer) error { return WriteBinary(w, g) }
+	case gcsrVersion2:
+		write = func(w io.Writer) error { return WriteBinaryV2(w, g, o) }
+	default:
+		return fmt.Errorf("gcsr: unsupported format version %d (want 1 or 2)", o.Version)
+	}
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
@@ -123,8 +141,8 @@ func Save(path string, g *Graph) error {
 		return err
 	}
 	tmp := f.Name()
-	// WriteBinary buffers the payload itself; no extra layer needed.
-	if err := WriteBinary(f, g); err != nil {
+	// Both writers buffer the payload themselves; no extra layer needed.
+	if err := write(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -224,11 +242,40 @@ func checkOffsets(off []int64, h gcsrHeader) error {
 	return nil
 }
 
-// ReadBinary decodes a .gcsr stream with the portable (endianness-agnostic,
-// allocating) read path and verifies the checksum and structural invariants.
+// ReadBinary decodes a .gcsr stream (either format version) with the
+// portable (endianness-agnostic, allocating) read path and verifies the
+// checksums and structural invariants.
 func ReadBinary(r io.Reader) (*Graph, error) {
+	var pre [8]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, fmt.Errorf("gcsr: reading header: %w", err)
+	}
+	if string(pre[0:4]) != gcsrMagic {
+		return nil, fmt.Errorf("gcsr: bad magic %q (not a .gcsr file)", pre[0:4])
+	}
+	switch v := binary.LittleEndian.Uint32(pre[4:8]); v {
+	case gcsrVersion:
+		return readBinaryV1(r, pre)
+	case gcsrVersion2:
+		// The v2 parser works on a whole-file image; block extents are
+		// validated against the actual image size, so a lying header
+		// cannot trigger an outsized allocation.
+		rest, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("gcsr: reading payload: %w", err)
+		}
+		return readBinaryV2(append(pre[:], rest...))
+	default:
+		return nil, fmt.Errorf("gcsr: unsupported format version %d (want 1 or 2)", v)
+	}
+}
+
+// readBinaryV1 decodes the version-1 raw-array stream; pre holds the 8
+// already-consumed magic/version bytes.
+func readBinaryV1(r io.Reader, pre [8]byte) (*Graph, error) {
 	var hdr [gcsrHeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	copy(hdr[:], pre[:])
+	if _, err := io.ReadFull(r, hdr[8:]); err != nil {
 		return nil, fmt.Errorf("gcsr: reading header: %w", err)
 	}
 	h, err := parseHeader(hdr[:])
@@ -348,15 +395,33 @@ func DetectFormat(path string) Format {
 }
 
 // OpenFile opens a graph file in the given format (FormatAuto detects it).
-// .gcsr files are opened with the zero-copy mmap path where available; call
-// Close on the returned graph when done with a mapped graph.
+// .gcsr files are opened with the mmap path where available (zero-copy for
+// v1, block-cached for v2); call Close on the returned graph when done with
+// a mapped graph.
 func OpenFile(path string, format Format) (*Graph, error) {
+	return OpenFileOpts(path, format, OpenOptions{})
+}
+
+// OpenFileOpts is OpenFile with read-path tuning. For .gcsr graphs without
+// an embedded original-IDs section it also attaches the .gids sidecar when
+// one sits next to the file.
+func OpenFileOpts(path string, format Format, o OpenOptions) (*Graph, error) {
 	if format == FormatAuto {
 		format = DetectFormat(path)
 	}
 	switch format {
 	case FormatGCSR:
-		return OpenMapped(path)
+		g, err := OpenMappedOpts(path, o)
+		if err != nil {
+			return nil, err
+		}
+		if !g.HasOriginalIDs() {
+			if err := attachSidecarIDs(g, path); err != nil {
+				g.Close()
+				return nil, err
+			}
+		}
+		return g, nil
 	case FormatEdgeList:
 		return LoadEdgeList(path)
 	}

@@ -19,25 +19,27 @@ import (
 )
 
 const (
-	benchNodes    = 200_000
-	benchAttach   = 5 // BA attachment factor: ~1M edges
-	benchSeed     = 1337
-	benchDirName  = "graphletrw-gcsr-bench"
-	benchTxtName  = "ba-1m.txt"
-	benchGcsrName = "ba-1m.gcsr"
+	benchNodes      = 200_000
+	benchAttach     = 5 // BA attachment factor: ~1M edges
+	benchSeed       = 1337
+	benchDirName    = "graphletrw-gcsr-bench"
+	benchTxtName    = "ba-1m.txt"
+	benchGcsrName   = "ba-1m.gcsr"
+	benchGcsrV2Name = "ba-1m.v2.gcsr"
 )
 
 var benchFixture struct {
-	once sync.Once
-	txt  string
-	gcsr string
-	g    *graph.Graph
-	err  error
+	once  sync.Once
+	txt   string
+	gcsr  string
+	gcsr2 string
+	g     *graph.Graph
+	err   error
 }
 
 // fixture generates the benchmark graph once per process and materializes
-// both on-disk encodings, reusing files from earlier runs when present
-// (contents are deterministic).
+// the on-disk encodings (text, .gcsr v1, .gcsr v2), reusing files from
+// earlier runs when present (contents are deterministic).
 func fixture(b *testing.B) (txt, gcsr string, g *graph.Graph) {
 	b.Helper()
 	f := &benchFixture
@@ -48,6 +50,7 @@ func fixture(b *testing.B) (txt, gcsr string, g *graph.Graph) {
 		}
 		f.txt = filepath.Join(dir, benchTxtName)
 		f.gcsr = filepath.Join(dir, benchGcsrName)
+		f.gcsr2 = filepath.Join(dir, benchGcsrV2Name)
 		f.g = gen.BarabasiAlbert(benchNodes, benchAttach, benchSeed)
 		if _, err := os.Stat(f.txt); err != nil {
 			// Write-then-rename so a concurrent bench process never reads a
@@ -65,11 +68,23 @@ func fixture(b *testing.B) (txt, gcsr string, g *graph.Graph) {
 				return
 			}
 		}
+		if _, err := os.Stat(f.gcsr2); err != nil {
+			if f.err = graph.SaveOpts(f.gcsr2, f.g, graph.SaveOptions{Version: 2}); f.err != nil {
+				return
+			}
+		}
 	})
 	if f.err != nil {
 		b.Fatal(f.err)
 	}
 	return f.txt, f.gcsr, f.g
+}
+
+// fixtureV2 returns the v2-encoded fixture path.
+func fixtureV2(b *testing.B) string {
+	b.Helper()
+	fixture(b)
+	return benchFixture.gcsr2
 }
 
 func BenchmarkLoadEdgeList(b *testing.B) {
@@ -105,6 +120,45 @@ func BenchmarkOpenMapped(b *testing.B) {
 		}
 		m.Close()
 	}
+}
+
+func BenchmarkBinaryLoadV2(b *testing.B) {
+	gcsr2 := fixtureV2(b)
+	b.SetBytes(fileSize(b, gcsr2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.Load(gcsr2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpenMappedV2(b *testing.B) {
+	gcsr2 := fixtureV2(b)
+	b.SetBytes(fileSize(b, gcsr2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := graph.OpenMapped(gcsr2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Close()
+	}
+}
+
+// openWarmV2 opens the v2 fixture and makes every block resident, the
+// steady state a long-running walk settles into under the default cache.
+func openWarmV2(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := graph.OpenMapped(fixtureV2(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { g.Close() })
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		g.Neighbors(v)
+	}
+	return g
 }
 
 func fileSize(b *testing.B, path string) int64 {
@@ -161,6 +215,48 @@ func BenchmarkHasEdge(b *testing.B) {
 		}
 		sinkInt = hits
 	})
+}
+
+// BenchmarkHasEdgeV2 is BenchmarkHasEdge over the warm block-compressed
+// backing: the delta vs the v1 numbers is the decode-cache routing cost.
+func BenchmarkHasEdgeV2(b *testing.B) {
+	g := openWarmV2(b)
+	hub, nonHub, partners := probeTargets(b, g)
+	b.Run("hub", func(b *testing.B) {
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			if g.HasEdge(partners[i&1023], hub) {
+				hits++
+			}
+		}
+		sinkInt = hits
+	})
+	b.Run("nonhub", func(b *testing.B) {
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			if g.HasEdge(partners[i&1023], nonHub) {
+				hits++
+			}
+		}
+		sinkInt = hits
+	})
+}
+
+// BenchmarkNeighborsV2 times a warm cached row fetch against the v1 slice
+// expression it replaces.
+func BenchmarkNeighborsV2(b *testing.B) {
+	g := openWarmV2(b)
+	rng := rand.New(rand.NewSource(5))
+	nodes := make([]int32, 1024)
+	for i := range nodes {
+		nodes[i] = int32(rng.Intn(g.NumNodes()))
+	}
+	b.ResetTimer()
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += len(g.Neighbors(nodes[i&1023]))
+	}
+	sinkInt = s
 }
 
 func BenchmarkRandomEdge(b *testing.B) {

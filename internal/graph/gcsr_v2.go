@@ -1,0 +1,538 @@
+package graph
+
+// Binary CSR on-disk format, version 2: block-compressed adjacency.
+//
+// Version 1 (gcsr.go) stores the off/adj arrays raw so the mmap path can
+// alias them zero-copy — at ~4 bytes per arc plus 8 bytes per node, the
+// dominant disk and page-cache cost once a node hosts many registered
+// graphs. Version 2 halves that: sorted neighbor rows are delta+varint
+// encoded into fixed-target-size blocks (DefaultBlockBytes of encoded rows),
+// each carrying its own CRC-32C, with a block index mapping contiguous node
+// ranges to block extents. Reads go through a bounded decoded-block cache
+// (blockcache.go) so warm walk steps stay allocation-free; the degree/off
+// array is reconstructed on the heap at open time so Degree stays O(1).
+//
+// Layout (all integers little-endian):
+//
+//	offset  size            field
+//	0       4               magic "GCSR"
+//	4       4               format version (2)
+//	8       8               n, number of nodes
+//	16      8               m, number of undirected edges
+//	24      8               max degree
+//	32      8               number of blocks
+//	40      4               flags (bit 0: original-IDs section present)
+//	44      4               CRC-32C of the metadata tail (index + IDs sections)
+//	48      numBlocks*32    block index (see below)
+//	...     n*8             original IDs, int64 (only with flag bit 0)
+//	...     ...             block region: concatenated encoded blocks
+//
+// Block index entry (32 bytes): firstNode u32, nodeCount u32, arcCount u32,
+// blockCRC u32, fileOffset u64, encodedLen u32, reserved u32 (zero). Blocks
+// cover contiguous node ranges starting at node 0 and their extents tile the
+// block region exactly (no gaps, no trailing bytes), which parseV2 enforces.
+//
+// Row encoding, per node v of a block, in node order:
+//
+//	uvarint(degree)
+//	uvarint(first neighbor)            — absolute value
+//	uvarint(gap-1) per later neighbor  — rows are strictly ascending, so
+//	                                     every gap is >= 1
+//
+// The metadata tail CRC is verified at open; each block's CRC is verified
+// when the block is decoded (including once per block during the open-time
+// validation sweep, so a corrupt file fails loudly at open, not mid-walk).
+// decodeV2Block bounds-checks every varint and rejects out-of-range,
+// unsorted or self-loop neighbors and trailing bytes, mirroring the repo's
+// other binary codecs (GEST/GDPA).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"unsafe"
+)
+
+const (
+	gcsrVersion2     = 2
+	gcsrV2HeaderSize = 48
+	gcsrV2IndexEntry = 32
+
+	gcsrV2FlagIDs    = 1 << 0
+	gcsrV2KnownFlags = gcsrV2FlagIDs
+
+	// DefaultBlockBytes is the target encoded size of one adjacency block:
+	// large enough to amortize per-block index and CRC overhead, small
+	// enough that one decode miss stays cheap and the cache can hold a
+	// working set at fine granularity.
+	DefaultBlockBytes = 64 << 10
+
+	// DefaultBlockCacheBytes bounds the decoded-block cache of one opened
+	// v2 graph when OpenOptions.BlockCacheBytes is zero.
+	DefaultBlockCacheBytes = 64 << 20
+)
+
+// SaveOptions selects the on-disk encoding written by SaveOpts.
+type SaveOptions struct {
+	// Version is the .gcsr format version: 0 or 1 write version 1 (raw
+	// arrays, zero-copy mmap), 2 writes the block-compressed version 2.
+	Version int
+	// BlockBytes is the target encoded block size for version 2 (0 means
+	// DefaultBlockBytes). A single row larger than the target becomes its
+	// own oversized block; rows never split across blocks.
+	BlockBytes int
+	// IDs, when non-nil, is the dense→original node ID mapping embedded as
+	// the version-2 original-IDs section. len(IDs) must equal NumNodes.
+	// Version 1 cannot embed IDs — write a sidecar with SaveIDs instead.
+	IDs []int64
+}
+
+// OpenOptions tunes OpenMappedOpts.
+type OpenOptions struct {
+	// BlockCacheBytes bounds the decoded-block cache of a version-2 graph
+	// (0 means DefaultBlockCacheBytes). Ignored for version-1 files, whose
+	// mmap path needs no decode cache.
+	BlockCacheBytes int64
+}
+
+// gcsrV2Header is the decoded fixed-size version-2 header.
+type gcsrV2Header struct {
+	n         int64
+	m         int64
+	maxDeg    int64
+	numBlocks int64
+	flags     uint32
+	metaCRC   uint32
+}
+
+func (h gcsrV2Header) indexBytes() int64 { return h.numBlocks * gcsrV2IndexEntry }
+func (h gcsrV2Header) idsBytes() int64 {
+	if h.flags&gcsrV2FlagIDs != 0 {
+		return h.n * 8
+	}
+	return 0
+}
+func (h gcsrV2Header) idsStart() int64    { return gcsrV2HeaderSize + h.indexBytes() }
+func (h gcsrV2Header) blocksStart() int64 { return h.idsStart() + h.idsBytes() }
+
+// blockMeta is one decoded block-index entry.
+type blockMeta struct {
+	first  int32
+	count  int32
+	arcs   int32
+	crc    uint32
+	off    int64 // absolute file offset of the encoded block
+	encLen int32
+}
+
+// v2Layout is the parsed and validated skeleton of a version-2 file:
+// everything except the block payloads themselves.
+type v2Layout struct {
+	h     gcsrV2Header
+	metas []blockMeta
+}
+
+// WriteBinaryV2 writes g in the version-2 block-compressed format.
+func WriteBinaryV2(w io.Writer, g *Graph, o SaveOptions) error {
+	blockBytes := o.BlockBytes
+	if blockBytes <= 0 {
+		blockBytes = DefaultBlockBytes
+	}
+	n := g.NumNodes()
+	if o.IDs != nil && len(o.IDs) != n {
+		return fmt.Errorf("gcsr: %d original IDs for %d nodes", len(o.IDs), n)
+	}
+
+	// Encode every row, cutting a block boundary before the row that would
+	// push a non-empty block past the target size.
+	type openBlock struct {
+		first int32
+		count int32
+		arcs  int32
+		start int // byte offset into enc
+	}
+	var (
+		enc   []byte
+		metas []blockMeta
+		cur   openBlock
+	)
+	closeBlock := func(end int) {
+		metas = append(metas, blockMeta{
+			first:  cur.first,
+			count:  cur.count,
+			arcs:   cur.arcs,
+			crc:    crc32.Checksum(enc[cur.start:end], castagnoli),
+			off:    int64(cur.start), // rebased below
+			encLen: int32(end - cur.start),
+		})
+	}
+	for v := 0; v < n; v++ {
+		row := g.Neighbors(int32(v))
+		rowStart := len(enc)
+		enc = appendEncodedRow(enc, row)
+		if cur.count > 0 && len(enc)-cur.start > blockBytes {
+			closeBlock(rowStart)
+			cur = openBlock{first: int32(v), start: rowStart}
+		}
+		cur.count++
+		cur.arcs += int32(len(row))
+	}
+	if cur.count > 0 {
+		closeBlock(len(enc))
+	}
+
+	// Assemble the metadata tail (index + IDs) to checksum it.
+	h := gcsrV2Header{
+		n:         int64(n),
+		m:         g.m,
+		maxDeg:    int64(g.maxDeg),
+		numBlocks: int64(len(metas)),
+		flags:     0,
+	}
+	if o.IDs != nil {
+		h.flags |= gcsrV2FlagIDs
+	}
+	meta := make([]byte, 0, h.indexBytes()+h.idsBytes())
+	blocksStart := h.blocksStart()
+	for _, bm := range metas {
+		var e [gcsrV2IndexEntry]byte
+		binary.LittleEndian.PutUint32(e[0:4], uint32(bm.first))
+		binary.LittleEndian.PutUint32(e[4:8], uint32(bm.count))
+		binary.LittleEndian.PutUint32(e[8:12], uint32(bm.arcs))
+		binary.LittleEndian.PutUint32(e[12:16], bm.crc)
+		binary.LittleEndian.PutUint64(e[16:24], uint64(blocksStart+bm.off))
+		binary.LittleEndian.PutUint32(e[24:28], uint32(bm.encLen))
+		// e[28:32] reserved, zero.
+		meta = append(meta, e[:]...)
+	}
+	for _, id := range o.IDs {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(id))
+		meta = append(meta, b[:]...)
+	}
+
+	var hdr [gcsrV2HeaderSize]byte
+	copy(hdr[0:4], gcsrMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], gcsrVersion2)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(h.n))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(h.m))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(h.maxDeg))
+	binary.LittleEndian.PutUint64(hdr[32:40], uint64(h.numBlocks))
+	binary.LittleEndian.PutUint32(hdr[40:44], h.flags)
+	binary.LittleEndian.PutUint32(hdr[44:48], crc32.Checksum(meta, castagnoli))
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(meta); err != nil {
+		return err
+	}
+	if _, err := bw.Write(enc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// appendEncodedRow appends one node's delta+varint row encoding to dst.
+func appendEncodedRow(dst []byte, row []int32) []byte {
+	dst = appendUvarint(dst, uint64(len(row)))
+	if len(row) == 0 {
+		return dst
+	}
+	dst = appendUvarint(dst, uint64(uint32(row[0])))
+	for i := 1; i < len(row); i++ {
+		dst = appendUvarint(dst, uint64(uint32(row[i]-row[i-1]-1)))
+	}
+	return dst
+}
+
+// appendUvarint is binary.AppendUvarint without the interface indirection.
+func appendUvarint(dst []byte, x uint64) []byte {
+	for x >= 0x80 {
+		dst = append(dst, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(dst, byte(x))
+}
+
+// parseV2Header decodes and sanity-checks the 48-byte version-2 header.
+func parseV2Header(hdr []byte) (gcsrV2Header, error) {
+	var h gcsrV2Header
+	if len(hdr) < gcsrV2HeaderSize {
+		return h, fmt.Errorf("gcsr: file shorter than the %d-byte v2 header", gcsrV2HeaderSize)
+	}
+	if string(hdr[0:4]) != gcsrMagic {
+		return h, fmt.Errorf("gcsr: bad magic %q (not a .gcsr file)", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != gcsrVersion2 {
+		return h, fmt.Errorf("gcsr: version %d is not 2", v)
+	}
+	h.n = int64(binary.LittleEndian.Uint64(hdr[8:16]))
+	h.m = int64(binary.LittleEndian.Uint64(hdr[16:24]))
+	h.maxDeg = int64(binary.LittleEndian.Uint64(hdr[24:32]))
+	h.numBlocks = int64(binary.LittleEndian.Uint64(hdr[32:40]))
+	h.flags = binary.LittleEndian.Uint32(hdr[40:44])
+	h.metaCRC = binary.LittleEndian.Uint32(hdr[44:48])
+	switch {
+	case h.n < 0 || h.n > math.MaxInt32:
+		return h, fmt.Errorf("gcsr: node count %d out of range", h.n)
+	// Same overflow discipline as v1: every derived size must stay in
+	// int64 so a lying header produces an error, not a wrapped offset.
+	case h.m < 0 || h.m > (math.MaxInt64/8-gcsrV2HeaderSize-h.n)/2:
+		return h, fmt.Errorf("gcsr: edge count %d out of range", h.m)
+	case h.maxDeg < 0 || h.maxDeg > h.n:
+		return h, fmt.Errorf("gcsr: max degree %d out of range for %d nodes", h.maxDeg, h.n)
+	case h.numBlocks < 0 || h.numBlocks > h.n:
+		return h, fmt.Errorf("gcsr: %d blocks out of range for %d nodes", h.numBlocks, h.n)
+	case h.n > 0 && h.numBlocks == 0:
+		return h, fmt.Errorf("gcsr: %d nodes but no blocks", h.n)
+	case h.flags&^uint32(gcsrV2KnownFlags) != 0:
+		return h, fmt.Errorf("gcsr: unknown flag bits %#x", h.flags&^uint32(gcsrV2KnownFlags))
+	}
+	return h, nil
+}
+
+// parseV2 parses a whole version-2 file image: header, metadata-tail CRC,
+// and the block index with its tiling invariants. Block payloads are not
+// decoded here — their CRCs are checked per block at decode time.
+func parseV2(data []byte) (v2Layout, error) {
+	var lay v2Layout
+	h, err := parseV2Header(data)
+	if err != nil {
+		return lay, err
+	}
+	blocksStart := h.blocksStart()
+	if int64(len(data)) < blocksStart {
+		return lay, fmt.Errorf("gcsr: file is %d bytes, metadata needs %d (file truncated?)", len(data), blocksStart)
+	}
+	meta := data[gcsrV2HeaderSize:blocksStart]
+	if got := crc32.Checksum(meta, castagnoli); got != h.metaCRC {
+		return lay, fmt.Errorf("gcsr: metadata checksum %08x != stored %08x (file corrupted)", got, h.metaCRC)
+	}
+	metas := make([]blockMeta, h.numBlocks)
+	nextFirst := int64(0)
+	nextOff := blocksStart
+	arcs := int64(0)
+	for i := range metas {
+		e := meta[i*gcsrV2IndexEntry:]
+		bm := blockMeta{
+			first:  int32(binary.LittleEndian.Uint32(e[0:4])),
+			count:  int32(binary.LittleEndian.Uint32(e[4:8])),
+			arcs:   int32(binary.LittleEndian.Uint32(e[8:12])),
+			crc:    binary.LittleEndian.Uint32(e[12:16]),
+			off:    int64(binary.LittleEndian.Uint64(e[16:24])),
+			encLen: int32(binary.LittleEndian.Uint32(e[24:28])),
+		}
+		switch {
+		case int64(bm.first) != nextFirst || bm.count <= 0 || int64(bm.first)+int64(bm.count) > h.n:
+			return lay, fmt.Errorf("gcsr: block %d node range [%d,%d) does not tile [0,%d)", i, bm.first, int64(bm.first)+int64(bm.count), h.n)
+		case bm.arcs < 0:
+			return lay, fmt.Errorf("gcsr: block %d arc count %d negative", i, bm.arcs)
+		case bm.off != nextOff || bm.encLen < 0 || bm.off+int64(bm.encLen) > int64(len(data)):
+			return lay, fmt.Errorf("gcsr: block %d extent [%d,%d) does not tile the block region", i, bm.off, bm.off+int64(bm.encLen))
+		// Every row costs at least one encoded byte (its degree varint)
+		// and so does every arc, so counts beyond encLen are lies. This
+		// bounds decode-time allocations by the actual file size before
+		// any buffer is made.
+		case bm.count > bm.encLen || bm.arcs > bm.encLen:
+			return lay, fmt.Errorf("gcsr: block %d claims %d rows / %d arcs in %d encoded bytes", i, bm.count, bm.arcs, bm.encLen)
+		}
+		nextFirst += int64(bm.count)
+		nextOff += int64(bm.encLen)
+		arcs += int64(bm.arcs)
+		metas[i] = bm
+	}
+	if nextFirst != h.n {
+		return lay, fmt.Errorf("gcsr: blocks cover %d of %d nodes", nextFirst, h.n)
+	}
+	if nextOff != int64(len(data)) {
+		return lay, fmt.Errorf("gcsr: %d trailing bytes after the block region", int64(len(data))-nextOff)
+	}
+	if arcs != 2*h.m {
+		return lay, fmt.Errorf("gcsr: blocks hold %d arcs, header promises %d", arcs, 2*h.m)
+	}
+	lay.h = h
+	lay.metas = metas
+	return lay, nil
+}
+
+// decodeV2Block decodes one block's rows into freshly allocated local
+// off/adj arrays, verifying the CRC and every structural invariant the walk
+// depends on (degrees summing to the indexed arc count, neighbors in range,
+// strictly ascending, no self loops, no trailing bytes).
+func decodeV2Block(data []byte, bm blockMeta, n int64) (off, adj []int32, err error) {
+	if got := crc32.Checksum(data, castagnoli); got != bm.crc {
+		return nil, nil, fmt.Errorf("gcsr: block at node %d: checksum %08x != stored %08x (file corrupted)", bm.first, got, bm.crc)
+	}
+	off = make([]int32, bm.count+1)
+	adj = make([]int32, bm.arcs)
+	pos := 0
+	total := int32(0)
+	for i := int32(0); i < bm.count; i++ {
+		v := int64(bm.first) + int64(i)
+		d, p, ok := readUvarint(data, pos)
+		if !ok || d > uint64(n) {
+			return nil, nil, fmt.Errorf("gcsr: node %d: bad degree varint", v)
+		}
+		pos = p
+		if int64(total)+int64(d) > int64(bm.arcs) {
+			return nil, nil, fmt.Errorf("gcsr: block at node %d: degrees exceed indexed arc count %d", bm.first, bm.arcs)
+		}
+		prev := int64(-1)
+		for j := uint64(0); j < d; j++ {
+			g, p, ok := readUvarint(data, pos)
+			if !ok {
+				return nil, nil, fmt.Errorf("gcsr: node %d: bad neighbor varint", v)
+			}
+			pos = p
+			var u int64
+			if j == 0 {
+				u = int64(g)
+			} else {
+				u = prev + 1 + int64(g)
+			}
+			if u >= n {
+				return nil, nil, fmt.Errorf("gcsr: node %d: neighbor %d out of range [0,%d)", v, u, n)
+			}
+			if u == v {
+				return nil, nil, fmt.Errorf("gcsr: node %d: self loop", v)
+			}
+			adj[total] = int32(u)
+			total++
+			prev = u
+		}
+		off[i+1] = total
+	}
+	if total != bm.arcs {
+		return nil, nil, fmt.Errorf("gcsr: block at node %d: %d arcs decoded, index promises %d", bm.first, total, bm.arcs)
+	}
+	if pos != len(data) {
+		return nil, nil, fmt.Errorf("gcsr: block at node %d: %d trailing bytes", bm.first, len(data)-pos)
+	}
+	return off, adj, nil
+}
+
+// readUvarint decodes a uvarint at data[pos:], bounding the value below
+// 2^35 (node IDs and gaps fit in 32 bits; the slack admits non-minimal
+// encodings of small values without admitting overflow).
+func readUvarint(data []byte, pos int) (uint64, int, bool) {
+	var x uint64
+	var s uint
+	for ; pos < len(data); pos++ {
+		b := data[pos]
+		if b < 0x80 {
+			if s >= 35 {
+				return 0, pos, false
+			}
+			return x | uint64(b)<<s, pos + 1, true
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+		if s >= 42 {
+			return 0, pos, false
+		}
+	}
+	return 0, pos, false
+}
+
+// readBinaryV2 is the portable version-2 read path: every block is decoded
+// into one heap off/adj pair, so the returned graph behaves exactly like a
+// version-1 Load (no block cache, no mmap). data is the whole file image.
+func readBinaryV2(data []byte) (*Graph, error) {
+	lay, err := parseV2(data)
+	if err != nil {
+		return nil, err
+	}
+	h := lay.h
+	off := make([]int64, h.n+1)
+	adj := make([]int32, 2*h.m)
+	pos := int64(0)
+	for _, bm := range lay.metas {
+		boff, badj, err := decodeV2Block(data[bm.off:bm.off+int64(bm.encLen)], bm, h.n)
+		if err != nil {
+			return nil, err
+		}
+		copy(adj[pos:], badj)
+		for i := int32(0); i < bm.count; i++ {
+			off[int64(bm.first)+int64(i)+1] = pos + int64(boff[i+1])
+		}
+		pos += int64(bm.arcs)
+	}
+	if err := checkOffsets(off, gcsrHeader{n: h.n, m: h.m, maxDeg: h.maxDeg}); err != nil {
+		return nil, err
+	}
+	g := &Graph{off: off, adj: adj, m: h.m, maxDeg: int(h.maxDeg)}
+	if h.flags&gcsrV2FlagIDs != 0 {
+		g.origIDs = decodeIDs(data[h.idsStart():h.blocksStart()])
+	}
+	g.buildHubIndex()
+	return g, nil
+}
+
+// decodeIDs copy-decodes an original-IDs section (endian-agnostic).
+func decodeIDs(raw []byte) []int64 {
+	ids := make([]int64, len(raw)/8)
+	for i := range ids {
+		ids[i] = int64(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return ids
+}
+
+// aliasInt64 reinterprets little-endian bytes as an int64 slice in place.
+// Caller guarantees a little-endian host and 8-byte alignment (the IDs
+// section starts at 48+32k bytes into a page-aligned mapping).
+func aliasInt64(raw []byte) []int64 {
+	if len(raw) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&raw[0])), len(raw)/8)
+}
+
+// buildV2Graph builds the block-cached read path over a version-2 file
+// image: the layout is parsed, every block is decoded once (validating CRCs
+// and row invariants and reconstructing the heap off array so Degree stays
+// O(1)), and subsequent row reads go through the bounded decode cache. The
+// caller owns data's lifetime (an mmap for OpenMapped); ids, when present,
+// alias it.
+func buildV2Graph(data []byte, o OpenOptions) (*Graph, error) {
+	lay, err := parseV2(data)
+	if err != nil {
+		return nil, err
+	}
+	h := lay.h
+	off := make([]int64, h.n+1)
+	maxDeg := int64(0)
+	for _, bm := range lay.metas {
+		boff, _, err := decodeV2Block(data[bm.off:bm.off+int64(bm.encLen)], bm, h.n)
+		if err != nil {
+			return nil, err
+		}
+		base := off[bm.first]
+		for i := int32(0); i < bm.count; i++ {
+			d := int64(boff[i+1] - boff[i])
+			if d > maxDeg {
+				maxDeg = d
+			}
+			off[int64(bm.first)+int64(i)+1] = base + int64(boff[i+1])
+		}
+	}
+	if maxDeg != h.maxDeg {
+		return nil, fmt.Errorf("gcsr: stored max degree %d != scanned %d", h.maxDeg, maxDeg)
+	}
+	store := newBlockStore(data, lay, o.BlockCacheBytes)
+	g := &Graph{off: off, m: h.m, maxDeg: int(h.maxDeg), blocks: store}
+	if h.flags&gcsrV2FlagIDs != 0 {
+		raw := data[h.idsStart():h.blocksStart()]
+		if hostLittleEndian() {
+			g.origIDs = aliasInt64(raw)
+		} else {
+			g.origIDs = decodeIDs(raw)
+		}
+	}
+	g.buildHubIndex()
+	return g, nil
+}

@@ -1,0 +1,571 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// saveV2 writes g as a v2 file under dir and returns the path.
+func saveV2(t *testing.T, dir, name string, g *Graph, o SaveOptions) string {
+	t.Helper()
+	o.Version = 2
+	path := filepath.Join(dir, name+GCSRExt)
+	if err := SaveOpts(path, g, o); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGCSRV2RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"empty", NewBuilder(0).Build()},
+		{"edgeless", NewBuilder(5).Build()},
+		{"k4", FromEdgeList(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})},
+		{"random", randomTestGraph(rng, 300, 2000)},
+		{"star", starGraph(200)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := saveV2(t, dir, tc.name, tc.g, SaveOptions{})
+			for _, open := range []struct {
+				name string
+				fn   func() (*Graph, error)
+			}{
+				{"load", func() (*Graph, error) { return Load(path) }},
+				{"mapped", func() (*Graph, error) { return OpenMapped(path) }},
+				{"tinycache", func() (*Graph, error) {
+					return OpenMappedOpts(path, OpenOptions{BlockCacheBytes: 1})
+				}},
+			} {
+				t.Run(open.name, func(t *testing.T) {
+					got, err := open.fn()
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer got.Close()
+					graphsEqual(t, tc.g, got)
+					if err := Validate(got); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestGCSRV2SmallBlocks forces multi-block files (tiny BlockBytes) and
+// checks every row survives the block tiling, across both a cache large
+// enough to hold everything and one that thrashes.
+func TestGCSRV2SmallBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomTestGraph(rng, 500, 4000)
+	dir := t.TempDir()
+	path := saveV2(t, dir, "small", g, SaveOptions{BlockBytes: 128})
+	for _, cacheBytes := range []int64{0, 1, 4 << 10} {
+		got, err := OpenMappedOpts(path, OpenOptions{BlockCacheBytes: cacheBytes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphsEqual(t, g, got)
+		st, ok := got.BlockCacheStats()
+		if !ok {
+			t.Fatal("v2 graph reports no block cache")
+		}
+		if st.Blocks < 10 {
+			t.Fatalf("BlockBytes=128 produced only %d blocks", st.Blocks)
+		}
+		if cacheBytes == 1 && st.Evictions == 0 {
+			t.Fatalf("1-byte cache never evicted: %+v", st)
+		}
+		if cacheBytes == 1 && st.ResidentBlocks > 1 {
+			t.Fatalf("1-byte cache holds %d blocks", st.ResidentBlocks)
+		}
+		got.Close()
+	}
+}
+
+// TestGCSRV2StatsAndProbes exercises the probe family (HasEdge hubs and
+// binary search, CommonNeighbors galloping, RandomEdge arc sampling) over
+// the block-compressed backing against a star graph, which concentrates a
+// hub row and skewed intersections.
+func TestGCSRV2StatsAndProbes(t *testing.T) {
+	g := starGraph(300)
+	dir := t.TempDir()
+	path := saveV2(t, dir, "star", g, SaveOptions{BlockBytes: 64})
+	got, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	if !got.BlockCompressed() {
+		t.Fatal("v2 mapped graph not block-compressed")
+	}
+	if !got.IsHub(0) {
+		t.Fatal("star center lost its hub row")
+	}
+	for v := int32(1); v < 300; v++ {
+		if !got.HasEdge(0, v) || !got.HasEdge(v, 0) {
+			t.Fatalf("missing star edge (0,%d)", v)
+		}
+		if got.HasEdge(v, v%299+1) && v != v%299+1 {
+			t.Fatalf("phantom leaf edge (%d,%d)", v, v%299+1)
+		}
+	}
+	if c := got.CommonNeighbors(1, 2); c != 1 {
+		t.Fatalf("CommonNeighbors(1,2) = %d, want 1 (the center)", c)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		u, v := got.RandomEdge(rng)
+		if u != 0 || v <= 0 || v >= 300 {
+			t.Fatalf("RandomEdge returned non-star edge (%d,%d)", u, v)
+		}
+	}
+}
+
+// TestGCSRV2CacheConcurrent hammers one thrashing cache from many
+// goroutines; run under -race this doubles as the publication-safety test,
+// and the row checks verify evicted buffers are never recycled under
+// readers' feet.
+func TestGCSRV2CacheConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomTestGraph(rng, 400, 3000)
+	dir := t.TempDir()
+	path := saveV2(t, dir, "conc", g, SaveOptions{BlockBytes: 128})
+	got, err := OpenMappedOpts(path, OpenOptions{BlockCacheBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				v := int32(rng.Intn(g.NumNodes()))
+				want, row := g.Neighbors(v), got.Neighbors(v)
+				if len(want) != len(row) {
+					errs <- fmt.Errorf("node %d: degree %d vs %d", v, len(row), len(want))
+					return
+				}
+				for j := range want {
+					if want[j] != row[j] {
+						errs <- fmt.Errorf("node %d: neighbor[%d] = %d, want %d", v, j, row[j], want[j])
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	st, _ := got.BlockCacheStats()
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("degenerate cache traffic: %+v", st)
+	}
+	if st.ResidentBytes < 0 {
+		t.Fatalf("negative resident bytes: %+v", st)
+	}
+}
+
+// TestGCSRV2WarmProbesAllocationFree is the v2 counterpart of
+// TestProbesAllocationFree: once every block is resident, row reads and
+// probes must not allocate (the property that keeps warm walk steps free).
+func TestGCSRV2WarmProbesAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomTestGraph(rng, 600, 6000)
+	dir := t.TempDir()
+	path := saveV2(t, dir, "warm", g, SaveOptions{BlockBytes: 1 << 10})
+	got, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	for v := int32(0); v < int32(got.NumNodes()); v++ {
+		got.Neighbors(v) // warm every block
+	}
+	var sink int
+	if n := testing.AllocsPerRun(200, func() {
+		row := got.Neighbors(17)
+		sink += len(row)
+		if got.HasEdge(17, 29) {
+			sink++
+		}
+		sink += got.CommonNeighbors(17, 29)
+	}); n != 0 {
+		t.Fatalf("warm v2 probes allocate %.1f times per run", n)
+	}
+	_ = sink
+}
+
+// mutateV2 writes a valid v2 image, applies mutate, and returns the bytes.
+func v2Image(t *testing.T, g *Graph, o SaveOptions) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinaryV2(&buf, g, o); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGCSRV2Corruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := randomTestGraph(rng, 200, 1500)
+	base := v2Image(t, g, SaveOptions{BlockBytes: 256})
+	// Offsets into the fixed header.
+	const (
+		verOff   = 4
+		nOff     = 8
+		mOff     = 16
+		degOff   = 24
+		blksOff  = 32
+		flagsOff = 40
+		crcOff   = 44
+	)
+	fixMetaCRC := func(img []byte) {
+		h, err := parseV2Header(img)
+		if err != nil {
+			return
+		}
+		end := h.blocksStart()
+		if end > int64(len(img)) {
+			end = int64(len(img))
+		}
+		binary.LittleEndian.PutUint32(img[crcOff:], crc32.Checksum(img[gcsrV2HeaderSize:end], castagnoli))
+	}
+	cases := []struct {
+		name    string
+		mutate  func(img []byte) []byte
+		wantSub string
+	}{
+		{"bad magic", func(img []byte) []byte { img[0] = 'X'; return img }, "bad magic"},
+		{"version 3", func(img []byte) []byte {
+			binary.LittleEndian.PutUint32(img[verOff:], 3)
+			return img
+		}, "unsupported format version"},
+		{"unknown flags", func(img []byte) []byte {
+			binary.LittleEndian.PutUint32(img[flagsOff:], 0x80)
+			return img
+		}, "unknown flag bits"},
+		{"meta checksum", func(img []byte) []byte {
+			img[gcsrV2HeaderSize] ^= 0xff // first index byte
+			return img
+		}, "metadata checksum"},
+		{"lying node count", func(img []byte) []byte {
+			binary.LittleEndian.PutUint64(img[nOff:], uint64(g.NumNodes()+1))
+			return img
+		}, "blocks cover"},
+		{"lying edge count", func(img []byte) []byte {
+			binary.LittleEndian.PutUint64(img[mOff:], uint64(g.NumEdges()-1))
+			return img
+		}, "header promises"},
+		{"lying max degree", func(img []byte) []byte {
+			binary.LittleEndian.PutUint64(img[degOff:], uint64(g.MaxDegree()+1))
+			return img
+		}, "max degree"},
+		{"zero blocks", func(img []byte) []byte {
+			binary.LittleEndian.PutUint64(img[blksOff:], 0)
+			return img
+		}, "no blocks"},
+		{"truncated", func(img []byte) []byte { return img[:len(img)-3] }, "does not tile the block region"},
+		{"trailing bytes", func(img []byte) []byte { return append(img, 0xAA) }, "trailing bytes"},
+		{"block bit flip", func(img []byte) []byte {
+			img[len(img)-1] ^= 0x01 // inside the last block's payload
+			return img
+		}, "checksum"},
+		{"row count lies", func(img []byte) []byte {
+			// A consistent-looking single-block image whose one block
+			// claims 1000 rows in 10 encoded bytes: the tiling checks all
+			// pass, so only the rows-per-byte plausibility guard can stop
+			// the outsized row allocation.
+			img = make([]byte, gcsrV2HeaderSize+gcsrV2IndexEntry+10)
+			copy(img[0:4], gcsrMagic)
+			binary.LittleEndian.PutUint32(img[verOff:], 2)
+			binary.LittleEndian.PutUint64(img[nOff:], 1000)
+			binary.LittleEndian.PutUint64(img[mOff:], 0)
+			binary.LittleEndian.PutUint64(img[degOff:], 0)
+			binary.LittleEndian.PutUint64(img[blksOff:], 1)
+			idx := img[gcsrV2HeaderSize:]
+			binary.LittleEndian.PutUint32(idx[4:8], 1000) // count
+			binary.LittleEndian.PutUint64(idx[16:24], uint64(gcsrV2HeaderSize+gcsrV2IndexEntry))
+			binary.LittleEndian.PutUint32(idx[24:28], 10) // encLen
+			fixMetaCRC(img)
+			return img
+		}, "encoded bytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := tc.mutate(append([]byte(nil), base...))
+			if _, err := ReadBinary(bytes.NewReader(img)); err == nil {
+				t.Fatal("portable read accepted a corrupt v2 image")
+			} else if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("portable read error %q does not mention %q", err, tc.wantSub)
+			}
+			// The mmap path must reject the same image.
+			path := filepath.Join(t.TempDir(), "corrupt.gcsr")
+			if err := os.WriteFile(path, img, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := OpenMapped(path); err == nil {
+				got.Close()
+				t.Fatal("mapped open accepted a corrupt v2 image")
+			} else if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("mapped open error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestGCSRV2KeepIDsEmbedded(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomTestGraph(rng, 100, 400)
+	ids := make([]int64, g.NumNodes())
+	for i := range ids {
+		ids[i] = int64(i)*1000 + 7
+	}
+	dir := t.TempDir()
+	path := saveV2(t, dir, "ids", g, SaveOptions{IDs: ids, BlockBytes: 512})
+	for _, open := range []struct {
+		name string
+		fn   func() (*Graph, error)
+	}{
+		{"load", func() (*Graph, error) { return Load(path) }},
+		{"mapped", func() (*Graph, error) { return OpenMapped(path) }},
+	} {
+		t.Run(open.name, func(t *testing.T) {
+			got, err := open.fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer got.Close()
+			if !got.HasOriginalIDs() {
+				t.Fatal("embedded IDs not surfaced")
+			}
+			for v := range ids {
+				if got.OriginalID(int32(v)) != ids[v] {
+					t.Fatalf("OriginalID(%d) = %d, want %d", v, got.OriginalID(int32(v)), ids[v])
+				}
+			}
+		})
+	}
+	// Wrong-length IDs must be rejected at save time.
+	if err := SaveOpts(filepath.Join(dir, "bad.gcsr"), g, SaveOptions{Version: 2, IDs: ids[:3]}); err == nil {
+		t.Fatal("SaveOpts accepted a short ID mapping")
+	}
+	// Version 1 cannot embed IDs.
+	if err := SaveOpts(filepath.Join(dir, "v1ids.gcsr"), g, SaveOptions{Version: 1, IDs: ids}); err == nil {
+		t.Fatal("SaveOpts accepted embedded IDs for version 1")
+	}
+}
+
+func TestGIDSSidecar(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g := randomTestGraph(rng, 80, 300)
+	ids := make([]int64, g.NumNodes())
+	for i := range ids {
+		ids[i] = int64(i) + 1_000_000
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.gcsr")
+	if err := Save(path, g); err != nil {
+		t.Fatal(err)
+	}
+	side := IDsSidecarPath(path)
+	if err := SaveIDs(side, ids); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadIDs(side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("LoadIDs[%d] = %d, want %d", i, got[i], ids[i])
+		}
+	}
+	// OpenFile attaches the sidecar automatically.
+	og, err := OpenFile(path, FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !og.HasOriginalIDs() || og.OriginalID(5) != ids[5] {
+		t.Fatalf("OpenFile did not attach the sidecar (has=%v)", og.HasOriginalIDs())
+	}
+	og.Close()
+	// A corrupt sidecar fails the open rather than serving wrong IDs.
+	raw, err := os.ReadFile(side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(side, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if og, err := OpenFile(path, FormatAuto); err == nil {
+		og.Close()
+		t.Fatal("OpenFile accepted a corrupt sidecar")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("sidecar error %q does not mention checksum", err)
+	}
+	// A sidecar for a different graph (wrong n) is rejected too.
+	if err := SaveIDs(side, ids[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if og, err := OpenFile(path, FormatAuto); err == nil {
+		og.Close()
+		t.Fatal("OpenFile accepted a mismatched sidecar")
+	}
+}
+
+func TestReadEdgeListKeepIDs(t *testing.T) {
+	in := "1000 2000\n2000 3000\n1000 3000\n# comment\n3000 4000\n"
+	g, ids, err := ReadEdgeListKeepIDs(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got %v", g)
+	}
+	want := []int64{1000, 2000, 3000, 4000}
+	for i, w := range want {
+		if ids[i] != w {
+			t.Fatalf("ids[%d] = %d, want %d", i, ids[i], w)
+		}
+	}
+	// The plain reader still returns no mapping.
+	if _, err := ReadEdgeList(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGCSRV2VersionDispatch checks v1 files keep opening (zero-copy) and v2
+// files are auto-detected by the same entry points.
+func TestGCSRV2VersionDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := randomTestGraph(rng, 150, 900)
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "g1.gcsr")
+	if err := Save(v1, g); err != nil {
+		t.Fatal(err)
+	}
+	v2 := saveV2(t, dir, "g2", g, SaveOptions{})
+	for _, path := range []string{v1, v2} {
+		if f := DetectFormat(path); f != FormatGCSR {
+			t.Fatalf("DetectFormat(%s) = %v", path, f)
+		}
+		got, err := OpenFile(path, FormatAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphsEqual(t, g, got)
+		got.Close()
+	}
+	g1, err := OpenMapped(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g1.Close()
+	if g1.BlockCompressed() {
+		t.Fatal("v1 open took the block-compressed path")
+	}
+	if _, ok := g1.BlockCacheStats(); ok {
+		t.Fatal("v1 graph reports block-cache stats")
+	}
+}
+
+// FuzzGCSRV2Read feeds arbitrary images to the v2 portable reader: it must
+// never panic, and anything it accepts must pass full structural validation
+// (the same accept-implies-valid property the GEST/GDPA codec fuzzers pin).
+func FuzzGCSRV2Read(f *testing.F) {
+	rng := rand.New(rand.NewSource(51))
+	g := randomTestGraph(rng, 60, 250)
+	var buf bytes.Buffer
+	if err := WriteBinaryV2(&buf, g, SaveOptions{BlockBytes: 128}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	ids := make([]int64, g.NumNodes())
+	for i := range ids {
+		ids[i] = int64(i) * 3
+	}
+	buf.Reset()
+	if err := WriteBinaryV2(&buf, g, SaveOptions{BlockBytes: 64, IDs: ids}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	var empty bytes.Buffer
+	if err := WriteBinaryV2(&empty, NewBuilder(0).Build(), SaveOptions{}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := readBinaryV2(data)
+		if err != nil {
+			return
+		}
+		if err := Validate(g); err != nil {
+			t.Fatalf("accepted image fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzGCSRV2Block fuzzes the block decoder directly with adversarial index
+// metadata: whatever the mutated count/arc claims, it must stay in bounds
+// and reject inconsistencies instead of panicking.
+func FuzzGCSRV2Block(f *testing.F) {
+	row := appendEncodedRow(nil, []int32{1, 2, 9})
+	row = appendEncodedRow(row, []int32{0, 2})
+	f.Add(row, int32(0), int32(2), int32(5), int64(10))
+	f.Add([]byte{}, int32(0), int32(1), int32(0), int64(1))
+	f.Fuzz(func(t *testing.T, data []byte, first, count, arcs int32, n int64) {
+		if count < 0 || count > int32(len(data)) || arcs < 0 || arcs > int32(len(data)) {
+			return // parseV2 bounds these before any decode
+		}
+		if n < 0 || n > 1<<31-1 {
+			return
+		}
+		bm := blockMeta{
+			first:  first,
+			count:  count,
+			arcs:   arcs,
+			crc:    crc32.Checksum(data, castagnoli),
+			encLen: int32(len(data)),
+		}
+		off, adj, err := decodeV2Block(data, bm, n)
+		if err != nil {
+			return
+		}
+		if int32(len(adj)) != arcs || off[count] != arcs {
+			t.Fatalf("accepted block decodes %d arcs, index says %d", len(adj), arcs)
+		}
+		for i := int32(0); i < count; i++ {
+			row := adj[off[i]:off[i+1]]
+			for j, u := range row {
+				if int64(u) >= n || u < 0 || int64(u) == int64(first)+int64(i) {
+					t.Fatalf("row %d: invalid neighbor %d", i, u)
+				}
+				if j > 0 && row[j-1] >= u {
+					t.Fatalf("row %d: not strictly ascending", i)
+				}
+			}
+		}
+	})
+}

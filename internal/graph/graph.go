@@ -43,6 +43,16 @@ type Graph struct {
 	arcOnce sync.Once
 	arcSrc  []int32
 
+	// blocks serves neighbor rows of a block-compressed (.gcsr v2) graph
+	// through the bounded decode cache; nil for raw-CSR graphs, whose rows
+	// come straight from adj. When blocks is non-nil, adj is nil and off is
+	// a heap-synthesized prefix-sum array (Degree stays O(1) either way).
+	blocks *blockStore
+
+	// origIDs maps dense node IDs back to the source IDs they were packed
+	// from (nil when the mapping was not kept).
+	origIDs []int64
+
 	// unmap releases the mmap backing of a graph opened with OpenMapped.
 	unmap func() error
 }
@@ -59,13 +69,21 @@ func (g *Graph) Degree(v int32) int {
 }
 
 // Neighbors returns the sorted neighbor list of v. The returned slice aliases
-// internal storage and must not be modified.
+// internal storage and must not be modified. For block-compressed graphs the
+// row is served from the decode cache; a warm row costs one atomic load more
+// than the raw-CSR slice expression and allocates nothing.
 func (g *Graph) Neighbors(v int32) []int32 {
+	if g.blocks != nil {
+		return g.blocks.row(v)
+	}
 	return g.adj[g.off[v]:g.off[v+1]]
 }
 
 // Neighbor returns the i-th neighbor of v (0-based, sorted order).
 func (g *Graph) Neighbor(v int32, i int) int32 {
+	if g.blocks != nil {
+		return g.blocks.row(v)[i]
+	}
 	return g.adj[g.off[v]+int64(i)]
 }
 
@@ -110,7 +128,10 @@ func (g *Graph) buildHubIndex() {
 	}
 	stride := (n + 63) >> 6
 	rowBytes := stride * 8
-	budget := len(g.adj) * 4
+	// Budget rows against the raw adjacency size (4 bytes/arc) whether the
+	// arcs are stored raw (v1) or block-compressed (v2) — the bitset value
+	// is the same either way.
+	budget := int(2*g.m) * 4
 	if budget < 1<<20 {
 		budget = 1 << 20
 	}
@@ -174,6 +195,7 @@ func (g *Graph) Close() error {
 	g.unmap = nil
 	g.off, g.adj = nil, nil
 	g.hubIdx, g.hubRows = nil, nil
+	g.blocks, g.origIDs = nil, nil
 	return unmap()
 }
 
@@ -202,9 +224,9 @@ func (g *Graph) RandomEdge(rng *rand.Rand) (int32, int32) {
 	}
 	// Pick a random directed arc; its (source, target) is a uniform edge
 	// because each undirected edge contributes exactly two arcs.
-	a := rng.Int63n(int64(len(g.adj)))
+	a := rng.Int63n(2 * g.m)
 	u := g.arcSource(a)
-	v := g.adj[a]
+	v := g.Neighbor(u, int(a-g.off[u]))
 	if u > v {
 		u, v = v, u
 	}
@@ -219,7 +241,7 @@ func (g *Graph) arcSource(a int64) int32 {
 
 // buildArcIndex materializes the arc→source table (4 bytes per arc).
 func (g *Graph) buildArcIndex() {
-	src := make([]int32, len(g.adj))
+	src := make([]int32, 2*g.m)
 	for v := 0; v < g.NumNodes(); v++ {
 		lo, hi := g.off[v], g.off[v+1]
 		for a := lo; a < hi; a++ {
@@ -247,6 +269,46 @@ func (g *Graph) Edges(fn func(u, v int32) bool) {
 // MaxDegree returns the maximum degree in the graph (0 for an empty graph).
 // The value is cached at Build time, so the call is O(1).
 func (g *Graph) MaxDegree() int { return g.maxDeg }
+
+// BlockCompressed reports whether neighbor rows are served from a
+// block-compressed (.gcsr v2) backing through the decode cache.
+func (g *Graph) BlockCompressed() bool { return g.blocks != nil }
+
+// BlockCacheStats returns a snapshot of the decoded-block cache. ok is
+// false for graphs without a block-compressed backing.
+func (g *Graph) BlockCacheStats() (stats BlockCacheStats, ok bool) {
+	if g.blocks == nil {
+		return BlockCacheStats{}, false
+	}
+	return g.blocks.stats(), true
+}
+
+// HasOriginalIDs reports whether the dense→source node ID mapping was kept
+// when the graph was packed.
+func (g *Graph) HasOriginalIDs() bool { return g.origIDs != nil }
+
+// OriginalID returns the source ID node v was packed from, or v itself when
+// no mapping was kept (dense IDs are then the caller's IDs).
+func (g *Graph) OriginalID(v int32) int64 {
+	if g.origIDs == nil {
+		return int64(v)
+	}
+	return g.origIDs[v]
+}
+
+// OriginalIDs returns the dense→source ID mapping, or nil when none was
+// kept. The slice aliases internal storage and must not be modified.
+func (g *Graph) OriginalIDs() []int64 { return g.origIDs }
+
+// SetOriginalIDs attaches a dense→source ID mapping (len must equal
+// NumNodes). Used by packers and by sidecar loading; pass nil to detach.
+func (g *Graph) SetOriginalIDs(ids []int64) error {
+	if ids != nil && len(ids) != g.NumNodes() {
+		return fmt.Errorf("graph: %d original IDs for %d nodes", len(ids), g.NumNodes())
+	}
+	g.origIDs = ids
+	return nil
+}
 
 // String summarizes the graph.
 func (g *Graph) String() string {

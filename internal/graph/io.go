@@ -21,15 +21,33 @@ const maxLineBytes = 1 << 20
 // integer parsing on the scanner's byte buffer), which is what keeps parsing
 // multi-million-edge lists I/O-bound.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	g, _, err := readEdgeList(r, false)
+	return g, err
+}
+
+// ReadEdgeListKeepIDs is ReadEdgeList, additionally returning the
+// dense→source ID mapping the compaction built (ids[v] is the input ID that
+// became dense node v). The mapping is not attached to the graph — callers
+// compose it through whatever reindexing follows (LargestComponent) and
+// attach the result with SetOriginalIDs.
+func ReadEdgeListKeepIDs(r io.Reader) (*Graph, []int64, error) {
+	return readEdgeList(r, true)
+}
+
+func readEdgeList(r io.Reader, keepIDs bool) (*Graph, []int64, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
 	remap := make(map[int64]int32)
+	var ids []int64
 	id := func(x int64) int32 {
 		if v, ok := remap[x]; ok {
 			return v
 		}
 		v := int32(len(remap))
 		remap[x] = v
+		if keepIDs {
+			ids = append(ids, x)
+		}
 		return v
 	}
 	b := NewBuilder(0)
@@ -43,25 +61,25 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		u, i, err := scanInt(line, i, lineNo)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		i = skipSpace(line, i)
 		if i == len(line) {
-			return nil, fmt.Errorf("graph: line %d: expected two fields, got %q", lineNo, line)
+			return nil, nil, fmt.Errorf("graph: line %d: expected two fields, got %q", lineNo, line)
 		}
 		v, _, err := scanInt(line, i, lineNo)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		b.AddEdge(id(u), id(v))
 	}
 	if err := sc.Err(); err != nil {
 		if errors.Is(err, bufio.ErrTooLong) {
-			return nil, fmt.Errorf("graph: line %d: line exceeds the %d-byte limit (%v); input is not a plain edge list — binary graphs use the .gcsr format (see graph.Load)", lineNo+1, maxLineBytes, err)
+			return nil, nil, fmt.Errorf("graph: line %d: line exceeds the %d-byte limit (%v); input is not a plain edge list — binary graphs use the .gcsr format (see graph.Load)", lineNo+1, maxLineBytes, err)
 		}
-		return nil, err
+		return nil, nil, err
 	}
-	return b.Build(), nil
+	return b.Build(), ids, nil
 }
 
 // skipSpace returns the index of the first non-whitespace byte at or after i.
@@ -124,6 +142,17 @@ func LoadEdgeList(path string) (*Graph, error) {
 	}
 	defer f.Close()
 	return ReadEdgeList(f)
+}
+
+// LoadEdgeListKeepIDs reads an edge-list file from disk, keeping the
+// dense→source ID mapping (see ReadEdgeListKeepIDs).
+func LoadEdgeListKeepIDs(path string) (*Graph, []int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadEdgeListKeepIDs(f)
 }
 
 // WriteEdgeList writes the graph as "u v" lines (u < v).

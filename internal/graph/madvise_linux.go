@@ -5,27 +5,30 @@ package graph
 import "syscall"
 
 // adviseMapped tunes kernel paging for a freshly validated .gcsr mapping.
-// The walk workload probes the adj array at random row offsets (neighbor
-// lookups follow the walk, not the file order), so default sequential
-// readahead on it wastes memory bandwidth pulling pages the walk never
-// touches — MADV_RANDOM disables it. The off array, by contrast, is tiny
-// relative to adj, consulted on every single probe (row bounds), and worth
-// having resident up front — MADV_WILLNEED prefetches it.
+// Both format versions split the same way: a small hot prefix consulted
+// constantly, and a large cold region accessed at random offsets. For v1
+// the prefix is the header + off array (row bounds on every probe) and the
+// cold region is the raw adj array; for v2 the prefix is the header + block
+// index + original-IDs section (block lookups on every decode miss) and the
+// cold region is the encoded blocks, touched in whatever order the walk
+// misses the decode cache. Default sequential readahead on the cold region
+// wastes memory bandwidth pulling pages the walk never touches —
+// MADV_RANDOM disables it; MADV_WILLNEED prefetches the prefix.
 //
-// offEnd is the mapping offset one past the off array (header + off bytes).
-// madvise requires page-aligned starts: the WILLNEED region starts at the
-// mapping base (page-aligned by mmap), and the RANDOM region starts at
-// offEnd rounded up, leaving the boundary page under WILLNEED — the right
-// call for a page holding the hot off array's tail. Advice is best-effort;
-// errors are ignored (the mapping works identically without it).
-func adviseMapped(data []byte, offEnd int) {
+// hotEnd is the mapping offset one past the hot prefix. madvise requires
+// page-aligned starts: the WILLNEED region starts at the mapping base
+// (page-aligned by mmap), and the RANDOM region starts at hotEnd rounded
+// up, leaving the boundary page under WILLNEED — the right call for a page
+// holding the hot prefix's tail. Advice is best-effort; errors are ignored
+// (the mapping works identically without it).
+func adviseMapped(data []byte, hotEnd int) {
 	page := syscall.Getpagesize()
-	if offEnd > len(data) {
-		offEnd = len(data)
+	if hotEnd > len(data) {
+		hotEnd = len(data)
 	}
-	_ = syscall.Madvise(data[:offEnd], syscall.MADV_WILLNEED)
-	adjStart := (offEnd + page - 1) &^ (page - 1)
-	if adjStart < len(data) {
-		_ = syscall.Madvise(data[adjStart:], syscall.MADV_RANDOM)
+	_ = syscall.Madvise(data[:hotEnd], syscall.MADV_WILLNEED)
+	coldStart := (hotEnd + page - 1) &^ (page - 1)
+	if coldStart < len(data) {
+		_ = syscall.Madvise(data[coldStart:], syscall.MADV_RANDOM)
 	}
 }

@@ -7,3 +7,9 @@ package graph
 func OpenMapped(path string) (*Graph, error) {
 	return Load(path)
 }
+
+// OpenMappedOpts falls back to the portable Load path; without a mapped
+// backing there is no decode cache to tune, so the options are unused.
+func OpenMappedOpts(path string, _ OpenOptions) (*Graph, error) {
+	return Load(path)
+}

@@ -3,6 +3,7 @@
 package graph
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -10,20 +11,29 @@ import (
 	"unsafe"
 )
 
-// OpenMapped opens a .gcsr file via a read-only shared mmap: the off/adj
-// arrays alias the page cache directly (zero copy), so no per-element
-// decode or heap copy is made and resident memory is shared across
-// processes mapping the same file. Opening still makes one sequential
-// checksum-and-validation pass over the raw bytes (see the format doc), so
-// open time is linear in file size but a large constant factor cheaper
-// than parsing an edge list — tens of milliseconds per hundred MB, served
-// from the page cache on warm opens. Call Close on the returned graph to
-// release the mapping; the graph must not be used afterwards.
+// OpenMapped opens a .gcsr file (either format version) via a read-only
+// shared mmap. For version 1 the off/adj arrays alias the page cache
+// directly (zero copy), so no per-element decode or heap copy is made and
+// resident memory is shared across processes mapping the same file. For
+// version 2 the encoded blocks stay mapped (shared, compressed) and decoded
+// rows are served from a bounded per-graph cache sized by
+// OpenOptions.BlockCacheBytes (OpenMapped uses the default). Opening still
+// makes one sequential checksum-and-validation pass over the raw bytes (see
+// the format docs), so open time is linear in file size but a large
+// constant factor cheaper than parsing an edge list — tens of milliseconds
+// per hundred MB, served from the page cache on warm opens. Call Close on
+// the returned graph to release the mapping; the graph must not be used
+// afterwards.
 //
 // On big-endian hosts (where the little-endian arrays cannot be aliased)
 // OpenMapped transparently falls back to the portable Load path, which
 // returns an ordinary heap-backed graph.
 func OpenMapped(path string) (*Graph, error) {
+	return OpenMappedOpts(path, OpenOptions{})
+}
+
+// OpenMappedOpts is OpenMapped with read-path tuning.
+func OpenMappedOpts(path string, o OpenOptions) (*Graph, error) {
 	if !hostLittleEndian() {
 		return Load(path)
 	}
@@ -49,17 +59,40 @@ func OpenMapped(path string) (*Graph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("graph: mmap %s: %w", path, err)
 	}
-	g, err := mapBinary(data)
+	g, hotEnd, err := mapBinaryAny(data, o)
 	if err != nil {
 		syscall.Munmap(data)
 		return nil, fmt.Errorf("graph: %s: %w", path, err)
 	}
-	// Advise after validation: the open-time checksum pass is sequential and
-	// benefits from default readahead; the walk accesses that follow are
-	// random over adj and hot over off.
-	adviseMapped(data, gcsrHeaderSize+int((int64(g.NumNodes())+1)*8))
+	// Advise after validation: the open-time checksum pass is sequential
+	// and benefits from default readahead; the accesses that follow are
+	// random over the cold region (v1 adj / v2 blocks) and hot over the
+	// prefix (v1 off array / v2 header+index+IDs).
+	adviseMapped(data, hotEnd)
 	g.unmap = func() error { return syscall.Munmap(data) }
 	return g, nil
+}
+
+// mapBinaryAny dispatches on the format version and returns the graph plus
+// the mapping offset one past the keep-resident prefix (for adviseMapped).
+func mapBinaryAny(data []byte, o OpenOptions) (*Graph, int, error) {
+	if len(data) >= 8 && string(data[0:4]) == gcsrMagic &&
+		binary.LittleEndian.Uint32(data[4:8]) == gcsrVersion2 {
+		h, err := parseV2Header(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		g, err := buildV2Graph(data, o)
+		if err != nil {
+			return nil, 0, err
+		}
+		return g, int(h.blocksStart()), nil
+	}
+	g, err := mapBinary(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	return g, gcsrHeaderSize + int((int64(g.NumNodes())+1)*8), nil
 }
 
 // mapBinary builds a Graph whose off/adj slices alias the mapped file bytes.

@@ -65,6 +65,15 @@ type serviceMetrics struct {
 	// Graph registry.
 	graphs *obs.GaugeVec // {source}
 
+	// Block-decode cache of .gcsr v2 graphs, aggregated across registered
+	// graphs at scrape time (gauges, not counters: removing a graph drops
+	// its contribution, so the aggregate may go down).
+	blockHits      *obs.Gauge
+	blockMisses    *obs.Gauge
+	blockEvictions *obs.Gauge
+	blockResBytes  *obs.Gauge
+	blockResBlocks *obs.Gauge
+
 	// Journal (shared handles with journal.Metrics; the journal increments
 	// them internally, the manager adds marshal failures to errors).
 	journal *journal.Metrics
@@ -125,6 +134,16 @@ func newServiceMetrics(reg *obs.Registry, graphs *Registry) *serviceMetrics {
 			"Per-size results produced by completed multi-size runs (cache fan-out entries).", "k"),
 		graphs: reg.GaugeVec("graphletd_graphs",
 			"Registered graphs by source (dataset, file, gcsr, inline).", "source"),
+		blockHits: reg.Gauge("graphletd_blockcache_hits",
+			"Neighbor-row reads served from decoded-block caches, across registered v2 graphs."),
+		blockMisses: reg.Gauge("graphletd_blockcache_misses",
+			"Neighbor-row reads that decoded a block, across registered v2 graphs."),
+		blockEvictions: reg.Gauge("graphletd_blockcache_evictions",
+			"Decoded blocks dropped by the clock hand, across registered v2 graphs."),
+		blockResBytes: reg.Gauge("graphletd_blockcache_resident_bytes",
+			"Bytes of decoded blocks currently cached, across registered v2 graphs."),
+		blockResBlocks: reg.Gauge("graphletd_blockcache_resident_blocks",
+			"Decoded blocks currently cached, across registered v2 graphs."),
 		dist: dist.NewMetrics(reg),
 	}
 	m.journal = &journal.Metrics{
@@ -153,6 +172,14 @@ func (m *Manager) installCollector() {
 		m.mu.Lock()
 		m.met.cacheEntries.Set(int64(m.cache.len()))
 		m.mu.Unlock()
+		if m.reg != nil {
+			st := m.reg.BlockCacheStats()
+			m.met.blockHits.Set(int64(st.Hits))
+			m.met.blockMisses.Set(int64(st.Misses))
+			m.met.blockEvictions.Set(int64(st.Evictions))
+			m.met.blockResBytes.Set(st.ResidentBytes)
+			m.met.blockResBlocks.Set(st.ResidentBlocks)
+		}
 	})
 }
 

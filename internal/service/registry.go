@@ -43,6 +43,10 @@ type GraphInfo struct {
 	Nodes     int    `json:"nodes"`
 	Edges     int64  `json:"edges"`
 	MaxDegree int    `json:"max_degree"`
+	// OriginalIDs reports that the graph carries a dense→source node ID
+	// mapping (packed with -keep-ids), so results can be translated back
+	// into the caller's ID space.
+	OriginalIDs bool `json:"original_ids,omitempty"`
 }
 
 // Registry holds the named graphs the daemon serves estimations over.
@@ -78,11 +82,12 @@ func (r *Registry) Add(name, source string, g *graph.Graph) error {
 	}
 	r.graphs[name] = g
 	r.infos[name] = GraphInfo{
-		Name:      name,
-		Source:    source,
-		Nodes:     g.NumNodes(),
-		Edges:     g.NumEdges(),
-		MaxDegree: g.MaxDegree(),
+		Name:        name,
+		Source:      source,
+		Nodes:       g.NumNodes(),
+		Edges:       g.NumEdges(),
+		MaxDegree:   g.MaxDegree(),
+		OriginalIDs: g.HasOriginalIDs(),
 	}
 	r.gauge.With(source).Inc()
 	return nil
@@ -101,23 +106,42 @@ func (r *Registry) AddDataset(name string) error {
 // AddFile loads a graph file from path, extracts its largest connected
 // component (the paper's preprocessing), and registers it under name. The
 // format is detected automatically: .gcsr binary CSR files (produced by
-// graphlet-pack) are opened via the zero-copy mmap path, so daemon start is
-// near-instant and resident pages are shared with other processes mapping
-// the same file; anything else is parsed as a text edge list. A pre-packed
-// connected graph (graphlet-pack's default -lcc output) is served directly
-// from the mapping; a disconnected one is rebuilt on the heap by the LCC
-// extraction.
+// graphlet-pack) are opened via the mmap path — zero-copy for v1, the
+// bounded block-decode cache for v2 — so daemon start is near-instant and
+// resident pages are shared with other processes mapping the same file;
+// anything else is parsed as a text edge list. A pre-packed connected graph
+// (graphlet-pack's default -lcc output) is served directly from the
+// mapping; a disconnected one is rebuilt on the heap by the LCC extraction.
 func (r *Registry) AddFile(name, path string) error {
+	return r.AddFileOpts(name, path, graph.OpenOptions{})
+}
+
+// AddFileOpts is AddFile with graph open tuning (v2 block-cache size).
+func (r *Registry) AddFileOpts(name, path string, o graph.OpenOptions) error {
 	format := graph.DetectFormat(path)
-	loaded, err := graph.OpenFile(path, format)
+	loaded, err := graph.OpenFileOpts(path, format, o)
 	if err != nil {
 		return fmt.Errorf("service: graph %q: %w", name, err)
 	}
-	lcc, _ := graph.LargestComponent(loaded)
+	lcc, toOld := graph.LargestComponent(loaded)
 	source := "file"
 	if format == graph.FormatGCSR {
 		source = "gcsr"
-		if lcc != loaded {
+	}
+	if lcc != loaded {
+		// The LCC extraction renumbered nodes; compose the original-IDs
+		// mapping through it so the rebuilt graph still reports source IDs.
+		if ids := loaded.OriginalIDs(); ids != nil {
+			lccIDs := make([]int64, len(toOld))
+			for v, old := range toOld {
+				lccIDs[v] = ids[old]
+			}
+			if err := lcc.SetOriginalIDs(lccIDs); err != nil {
+				loaded.Close()
+				return fmt.Errorf("service: graph %q: %w", name, err)
+			}
+		}
+		if format == graph.FormatGCSR {
 			// The mapping holds the full graph but only the rebuilt heap
 			// LCC is served; release the mapped pages.
 			defer loaded.Close()
@@ -157,6 +181,29 @@ func (r *Registry) instrument(g *obs.GaugeVec) {
 	for source, n := range counts {
 		g.With(source).Set(n)
 	}
+}
+
+// BlockCacheStats aggregates the decoded-block cache counters of every
+// registered block-compressed (.gcsr v2) graph; raw-CSR graphs contribute
+// nothing. The metrics collector exposes the aggregate at scrape time.
+func (r *Registry) BlockCacheStats() graph.BlockCacheStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var agg graph.BlockCacheStats
+	for _, g := range r.graphs {
+		st, ok := g.BlockCacheStats()
+		if !ok {
+			continue
+		}
+		agg.Blocks += st.Blocks
+		agg.ResidentBlocks += st.ResidentBlocks
+		agg.ResidentBytes += st.ResidentBytes
+		agg.CapacityBytes += st.CapacityBytes
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+	}
+	return agg
 }
 
 // Get returns the graph registered under name.
